@@ -1,0 +1,119 @@
+// Command fastctl builds a FAST index over a synthetic corpus and runs
+// similarity queries against it, printing per-query results and summary
+// statistics. It is the interactive face of the library:
+//
+//	fastctl -photos 400 -scenes 10 -queries 20
+//	fastctl -photos 1000 -scheme PCA-SIFT -queries 5 -topk 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/fastrepro/fast/internal/baseline"
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		photos  = flag.Int("photos", 300, "corpus size")
+		scenes  = flag.Int("scenes", 10, "number of landmark scenes")
+		queries = flag.Int("queries", 10, "number of queries to run")
+		topK    = flag.Int("topk", 25, "results per query")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		scheme  = flag.String("scheme", "FAST", "pipeline: FAST, SIFT, PCA-SIFT or RNPE")
+		verbose = flag.Bool("v", false, "print per-result details")
+	)
+	flag.Parse()
+
+	ds, err := workload.Generate(workload.Spec{
+		Name:        "fastctl",
+		Scenes:      *scenes,
+		Photos:      *photos,
+		Subjects:    4,
+		SubjectRate: 0.2,
+		Resolution:  64,
+		Seed:        *seed,
+		SceneBase:   6000,
+	})
+	if err != nil {
+		log.Fatalf("fastctl: generating corpus: %v", err)
+	}
+	fmt.Printf("corpus: %d photos / %d scenes\n", len(ds.Photos), *scenes)
+
+	var p core.Pipeline
+	switch *scheme {
+	case "FAST":
+		p = core.NewEngine(core.Config{})
+	case "SIFT":
+		p = baseline.NewSIFT()
+	case "PCA-SIFT":
+		p = baseline.NewPCASIFT()
+	case "RNPE":
+		p = baseline.NewRNPE()
+	default:
+		fmt.Fprintf(os.Stderr, "fastctl: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	t0 := time.Now()
+	st, err := p.Build(ds.Photos)
+	if err != nil {
+		log.Fatalf("fastctl: building %s index: %v", p.Name(), err)
+	}
+	fmt.Printf("%s index built in %v (%d descriptors, %.1f KB)\n\n",
+		p.Name(), time.Since(t0).Round(time.Millisecond), st.Descriptors,
+		float64(p.IndexBytes())/1024)
+
+	qs, err := ds.Queries(*queries, *seed+100)
+	if err != nil {
+		log.Fatalf("fastctl: queries: %v", err)
+	}
+	lat := metrics.NewLatency()
+	var acc metrics.Accuracy
+	for qi, q := range qs {
+		probe := core.Probe{Img: q.Probe}
+		if *scheme == "RNPE" {
+			for _, ph := range ds.Photos {
+				if ph.Scene == q.Scene {
+					loc := ph.Loc
+					probe.Loc = &loc
+					break
+				}
+			}
+		}
+		t1 := time.Now()
+		res, err := p.Search(probe, *topK)
+		if err != nil {
+			log.Fatalf("fastctl: query %d: %v", qi, err)
+		}
+		lat.Record(time.Since(t1))
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		ret := metrics.ScoreRetrieval(ids, q.Relevant)
+		acc.Add(ret.Recall())
+		fmt.Printf("query %2d (scene %d): %2d results, recall %.2f, precision %.2f\n",
+			qi+1, q.Scene, len(res), ret.Recall(), ret.Precision())
+		if *verbose {
+			for i, r := range res {
+				mark := " "
+				if q.Relevant[r.ID] {
+					mark = "*"
+				}
+				fmt.Printf("    %2d. photo %-12d score %.3f %s\n", i+1, r.ID, r.Score, mark)
+			}
+		}
+	}
+	s := lat.Summarize()
+	fmt.Printf("\n%d queries: mean %v, median %v, p99 %v; mean recall %.2f\n",
+		s.Count, s.Mean.Round(time.Microsecond), s.Median.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), acc.Mean())
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a FAST index over a small synthetic photo corpus and
+// answer a similarity query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a small corpus: 8 landmark scenes, 160 photos.
+	ds, err := workload.Generate(workload.Spec{
+		Name:       "quickstart",
+		Scenes:     8,
+		Photos:     160,
+		Resolution: 64,
+		Seed:       1,
+		SceneBase:  100,
+	})
+	if err != nil {
+		log.Fatalf("generating corpus: %v", err)
+	}
+	fmt.Printf("corpus: %d photos of %d scenes (%.1f MB simulated)\n",
+		len(ds.Photos), ds.Spec.Scenes, float64(ds.TotalBytes)/1e6)
+
+	// 2. Build the FAST index: DoG+PCA-SIFT features -> Bloom summaries ->
+	//    LSH semantic groups -> flat cuckoo storage.
+	engine := core.NewEngine(core.Config{})
+	t0 := time.Now()
+	st, err := engine.Build(ds.Photos)
+	if err != nil {
+		log.Fatalf("building index: %v", err)
+	}
+	fmt.Printf("indexed %d photos in %v (%d descriptors; %s resident)\n",
+		st.Photos, time.Since(t0).Round(time.Millisecond), st.Descriptors,
+		byteCount(engine.IndexBytes()))
+
+	// 3. Query with a fresh photo of one of the scenes.
+	qs, err := ds.Queries(1, 7)
+	if err != nil {
+		log.Fatalf("building query: %v", err)
+	}
+	q := qs[0]
+	t1 := time.Now()
+	results, err := engine.Query(q.Probe, 10)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Printf("\nquery for scene %d answered in %v, top hits:\n", q.Scene, time.Since(t1).Round(time.Microsecond))
+	for i, r := range results {
+		p := ds.PhotoByID(r.ID)
+		mark := " "
+		if p != nil && p.Scene == q.Scene {
+			mark = "*" // ground-truth correlated photo
+		}
+		fmt.Printf("  %2d. photo %-9d score %.3f %s\n", i+1, r.ID, r.Score, mark)
+	}
+	fmt.Println("\n(* marks photos of the queried scene — the correlated group FAST narrows to)")
+}
+
+func byteCount(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

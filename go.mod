@@ -1,0 +1,3 @@
+module github.com/fastrepro/fast
+
+go 1.22

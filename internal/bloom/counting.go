@@ -1,0 +1,116 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counting is a counting Bloom filter: each position holds a small counter
+// instead of a bit, so items can be removed. The engine's deletion path and
+// the smartphone detector's summary eviction use it where a plain filter
+// would accumulate stale bits. Counters are 8-bit and saturate at 255
+// (saturated counters are never decremented, preserving the no-false-
+// negative guarantee at the cost of permanently set positions — the
+// standard trade-off).
+type Counting struct {
+	m        uint32
+	k        int
+	counters []uint8
+	n        int
+}
+
+// NewCounting returns a counting filter with m counters and k hash
+// functions.
+func NewCounting(m uint32, k int) (*Counting, error) {
+	if m == 0 || k <= 0 {
+		return nil, fmt.Errorf("bloom: invalid parameters m=%d k=%d", m, k)
+	}
+	return &Counting{m: m, k: k, counters: make([]uint8, m)}, nil
+}
+
+// M returns the number of counters.
+func (f *Counting) M() uint32 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Counting) K() int { return f.k }
+
+// Count returns the number of items currently stored (adds minus removes).
+func (f *Counting) Count() int { return f.n }
+
+func (f *Counting) positions(item uint64) []uint32 {
+	h1, h2 := hash2(item)
+	pos := make([]uint32, f.k)
+	for i := 0; i < f.k; i++ {
+		pos[i] = (h1 + uint32(i)*h2) % f.m
+	}
+	return pos
+}
+
+// Add inserts item.
+func (f *Counting) Add(item uint64) {
+	for _, p := range f.positions(item) {
+		if f.counters[p] < math.MaxUint8 {
+			f.counters[p]++
+		}
+	}
+	f.n++
+}
+
+// Contains reports whether item may be stored.
+func (f *Counting) Contains(item uint64) bool {
+	for _, p := range f.positions(item) {
+		if f.counters[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Remove deletes one occurrence of item. It reports false (and changes
+// nothing) if the item is definitely not present. Removing an item that was
+// never added but passes the membership test corrupts other items' counts —
+// the inherent counting-filter caveat — so callers should only remove items
+// they know they added.
+func (f *Counting) Remove(item uint64) bool {
+	pos := f.positions(item)
+	for _, p := range pos {
+		if f.counters[p] == 0 {
+			return false
+		}
+	}
+	for _, p := range pos {
+		if f.counters[p] < math.MaxUint8 { // saturated counters stay pinned
+			f.counters[p]--
+		}
+	}
+	f.n--
+	return true
+}
+
+// ToFilter snapshots the counting filter as a plain bit filter (counter>0 →
+// bit set), the form the summarization pipeline ships to LSH.
+func (f *Counting) ToFilter() *Filter {
+	out, err := New(f.m, f.k)
+	if err != nil {
+		panic(err) // impossible: geometry already validated
+	}
+	for i, c := range f.counters {
+		if c > 0 {
+			out.bits[i/64] |= 1 << (uint32(i) % 64)
+		}
+	}
+	out.n = f.n
+	return out
+}
+
+// MaxCounter returns the largest counter value (diagnostics: values near
+// 255 warn of saturation).
+func (f *Counting) MaxCounter() uint8 {
+	var max uint8
+	for _, c := range f.counters {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,130 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCountingValidation(t *testing.T) {
+	if _, err := NewCounting(0, 4); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewCounting(64, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestCountingAddRemove(t *testing.T) {
+	f, _ := NewCounting(1024, 4)
+	f.Add(7)
+	f.Add(9)
+	if !f.Contains(7) || !f.Contains(9) {
+		t.Fatal("added items missing")
+	}
+	if f.Count() != 2 {
+		t.Errorf("Count = %d", f.Count())
+	}
+	if !f.Remove(7) {
+		t.Fatal("Remove(7) = false")
+	}
+	if f.Contains(7) {
+		t.Error("removed item still present")
+	}
+	if !f.Contains(9) {
+		t.Error("unrelated item damaged by removal")
+	}
+	if f.Count() != 1 {
+		t.Errorf("Count after remove = %d", f.Count())
+	}
+}
+
+func TestCountingRemoveAbsent(t *testing.T) {
+	f, _ := NewCounting(1<<16, 6)
+	f.Add(1)
+	if f.Remove(99999) {
+		t.Error("removing an absent item reported success")
+	}
+	if !f.Contains(1) {
+		t.Error("failed removal disturbed stored item")
+	}
+}
+
+func TestCountingMultiplicity(t *testing.T) {
+	f, _ := NewCounting(1024, 4)
+	f.Add(5)
+	f.Add(5)
+	if !f.Remove(5) || !f.Contains(5) {
+		t.Error("first removal should leave one occurrence")
+	}
+	if !f.Remove(5) || f.Contains(5) {
+		t.Error("second removal should clear the item")
+	}
+}
+
+func TestCountingToFilter(t *testing.T) {
+	cf, _ := NewCounting(512, 5)
+	for i := uint64(1); i <= 20; i++ {
+		cf.Add(i)
+	}
+	plain := cf.ToFilter()
+	for i := uint64(1); i <= 20; i++ {
+		if !plain.Contains(i) {
+			t.Fatalf("snapshot lost item %d", i)
+		}
+	}
+	if plain.Count() != cf.Count() {
+		t.Errorf("snapshot count %d != %d", plain.Count(), cf.Count())
+	}
+	cf.Remove(3)
+	snap2 := cf.ToFilter()
+	if snap2.Contains(3) && !differsSomewhere(plain, snap2) {
+		t.Error("snapshot did not reflect removal")
+	}
+}
+
+func differsSomewhere(a, b *Filter) bool {
+	d, err := HammingDistance(a, b)
+	return err == nil && d > 0
+}
+
+func TestCountingMaxCounter(t *testing.T) {
+	f, _ := NewCounting(16, 2) // tiny filter: collisions guaranteed
+	for i := uint64(0); i < 100; i++ {
+		f.Add(i)
+	}
+	if f.MaxCounter() == 0 {
+		t.Error("no counter incremented")
+	}
+}
+
+// Property: add-then-remove returns the filter to "item absent" as long as
+// the item itself was added exactly once and no saturation occurred.
+func TestCountingAddRemoveProperty(t *testing.T) {
+	f := func(items []uint64) bool {
+		cf, err := NewCounting(1<<14, 4)
+		if err != nil {
+			return false
+		}
+		seen := make(map[uint64]bool)
+		for _, it := range items {
+			if !seen[it] {
+				seen[it] = true
+				cf.Add(it)
+			}
+		}
+		for it := range seen {
+			if !cf.Contains(it) {
+				return false // no false negatives
+			}
+		}
+		for it := range seen {
+			if !cf.Remove(it) {
+				return false
+			}
+		}
+		return cf.Count() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSBF is a Locality-Sensitive Bloom Filter (Hua, Xiao, Veeravalli, Feng —
+// IEEE ToC 2012, the paper's reference [47]): an approximate-membership
+// structure that answers "is an item *near* a stored item?" rather than
+// exact membership. Standard Bloom filters use uniform hashes, so two
+// nearly identical vectors set unrelated bits; the LSBF replaces them with
+// p-stable LSH functions, so near vectors map to the same buckets with high
+// probability and a positive answer indicates proximity.
+//
+// The FAST paper cites the LSBF as the in-memory-computing data structure
+// its summarization philosophy builds on; it is provided here both for
+// completeness and as an alternative front-end filter for the engine
+// ("is anything like this probe indexed at all?" before a full query).
+type LSBF struct {
+	m     uint32
+	k     int
+	omega float64
+	dim   int
+	bits  []uint64
+	funcs []lsbfFunc
+	n     int
+	// verification bits: one extra uniform-hash bit per item reduces the
+	// false positives that occur when unrelated items happen to share all
+	// k LSH buckets (the ToC paper's verification scheme).
+	verify []uint64
+}
+
+type lsbfFunc struct {
+	a []float64
+	b float64
+}
+
+// NewLSBF builds a locality-sensitive Bloom filter over dim-dimensional
+// vectors with m bits, k LSH functions of width omega. omega must reflect
+// the distance scale of "near": vectors within ~omega/8 of a stored item
+// are reported present with high probability.
+func NewLSBF(dim int, m uint32, k int, omega float64, seed int64) (*LSBF, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("bloom: lsbf dimension must be positive, got %d", dim)
+	}
+	if m == 0 || k <= 0 || omega <= 0 {
+		return nil, fmt.Errorf("bloom: invalid lsbf parameters m=%d k=%d omega=%v", m, k, omega)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &LSBF{
+		m:      m,
+		k:      k,
+		omega:  omega,
+		dim:    dim,
+		bits:   make([]uint64, (m+63)/64),
+		verify: make([]uint64, (m+63)/64),
+	}
+	for i := 0; i < k; i++ {
+		a := make([]float64, dim)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		f.funcs = append(f.funcs, lsbfFunc{a: a, b: rng.Float64() * omega})
+	}
+	return f, nil
+}
+
+// Count returns the number of stored items.
+func (f *LSBF) Count() int { return f.n }
+
+// bucketBit maps LSH function i's bucket for v onto a bit position.
+func (f *LSBF) bucketBit(v []float64, i int) uint32 {
+	fn := &f.funcs[i]
+	var dot float64
+	for j, x := range v {
+		dot += fn.a[j] * x
+	}
+	bucket := int64(math.Floor((dot + fn.b) / f.omega))
+	h := mixLSBF(uint64(bucket) ^ (uint64(i) << 56))
+	return uint32(h % uint64(f.m))
+}
+
+// verifyBit is the uniform-hash verification bit of v (quantized to the
+// omega grid so that near items share it with reasonable probability).
+func (f *LSBF) verifyBit(v []float64) uint32 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < f.k; i++ {
+		h ^= uint64(f.bucketBit(v, i))
+		h *= 1099511628211
+	}
+	return uint32(mixLSBF(h) % uint64(f.m))
+}
+
+func mixLSBF(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add stores vector v. It returns an error on dimension mismatch.
+func (f *LSBF) Add(v []float64) error {
+	if len(v) != f.dim {
+		return fmt.Errorf("bloom: lsbf vector dimension %d, want %d", len(v), f.dim)
+	}
+	for i := 0; i < f.k; i++ {
+		b := f.bucketBit(v, i)
+		f.bits[b/64] |= 1 << (b % 64)
+	}
+	vb := f.verifyBit(v)
+	f.verify[vb/64] |= 1 << (vb % 64)
+	f.n++
+	return nil
+}
+
+// Query reports whether a vector near v has been stored: all k LSH bucket
+// bits and the verification bit must be set. Exact re-queries of stored
+// vectors always return true; vectors within the omega scale return true
+// with high probability; distant vectors return true only on Bloom-style
+// false positives.
+func (f *LSBF) Query(v []float64) (bool, error) {
+	if len(v) != f.dim {
+		return false, fmt.Errorf("bloom: lsbf vector dimension %d, want %d", len(v), f.dim)
+	}
+	for i := 0; i < f.k; i++ {
+		b := f.bucketBit(v, i)
+		if f.bits[b/64]&(1<<(b%64)) == 0 {
+			return false, nil
+		}
+	}
+	vb := f.verifyBit(v)
+	return f.verify[vb/64]&(1<<(vb%64)) != 0, nil
+}
+
+// FillRatio returns the fraction of set bucket bits (diagnostics).
+func (f *LSBF) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	return float64(set) / float64(f.m)
+}

@@ -1,0 +1,111 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewLSBFValidation(t *testing.T) {
+	if _, err := NewLSBF(0, 1024, 4, 1, 1); err == nil {
+		t.Error("zero dim should fail")
+	}
+	if _, err := NewLSBF(8, 0, 4, 1, 1); err == nil {
+		t.Error("zero m should fail")
+	}
+	if _, err := NewLSBF(8, 1024, 0, 1, 1); err == nil {
+		t.Error("zero k should fail")
+	}
+	if _, err := NewLSBF(8, 1024, 4, 0, 1); err == nil {
+		t.Error("zero omega should fail")
+	}
+}
+
+func TestLSBFDimensionMismatch(t *testing.T) {
+	f, _ := NewLSBF(4, 1024, 4, 1, 1)
+	if err := f.Add([]float64{1, 2}); err == nil {
+		t.Error("short Add should fail")
+	}
+	if _, err := f.Query([]float64{1, 2, 3, 4, 5}); err == nil {
+		t.Error("long Query should fail")
+	}
+}
+
+func TestLSBFExactMembership(t *testing.T) {
+	const dim = 8
+	f, _ := NewLSBF(dim, 1<<14, 5, 4, 7)
+	rng := rand.New(rand.NewSource(1))
+	var stored [][]float64
+	for i := 0; i < 50; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 10
+		}
+		stored = append(stored, v)
+		if err := f.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Count() != 50 {
+		t.Errorf("Count = %d", f.Count())
+	}
+	for i, v := range stored {
+		ok, err := f.Query(v)
+		if err != nil || !ok {
+			t.Fatalf("stored vector %d not found: %v", i, err)
+		}
+	}
+}
+
+func TestLSBFLocalitySensitivity(t *testing.T) {
+	// Near probes should be accepted far more often than far probes — the
+	// property that distinguishes the LSBF from a standard Bloom filter.
+	const dim = 8
+	const omega = 8.0
+	f, _ := NewLSBF(dim, 1<<14, 5, omega, 9)
+	rng := rand.New(rand.NewSource(2))
+	var stored [][]float64
+	for i := 0; i < 40; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 50
+		}
+		stored = append(stored, v)
+		_ = f.Add(v)
+	}
+	nearHits, farHits := 0, 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		base := stored[rng.Intn(len(stored))]
+		near := make([]float64, dim)
+		far := make([]float64, dim)
+		for j := range near {
+			near[j] = base[j] + rng.NormFloat64()*omega/40
+			far[j] = rng.NormFloat64() * 50
+		}
+		if ok, _ := f.Query(near); ok {
+			nearHits++
+		}
+		if ok, _ := f.Query(far); ok {
+			farHits++
+		}
+	}
+	nearRate := float64(nearHits) / trials
+	farRate := float64(farHits) / trials
+	if nearRate < 0.6 {
+		t.Errorf("near acceptance %.2f too low", nearRate)
+	}
+	if farRate > nearRate/2 {
+		t.Errorf("far acceptance %.2f not well below near %.2f", farRate, nearRate)
+	}
+}
+
+func TestLSBFFillRatio(t *testing.T) {
+	f, _ := NewLSBF(4, 1024, 4, 1, 3)
+	if f.FillRatio() != 0 {
+		t.Error("fresh LSBF has set bits")
+	}
+	_ = f.Add([]float64{1, 2, 3, 4})
+	if fr := f.FillRatio(); fr <= 0 || fr > 1 {
+		t.Errorf("fill ratio %v out of range", fr)
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNodeDown is returned when a task is submitted to a failed node.
+var ErrNodeDown = errors.New("cluster: node is down")
+
+// ErrClusterDown is returned when no live node remains.
+var ErrClusterDown = errors.New("cluster: all nodes are down")
+
+// SetDown marks a node failed (down=true) or recovered (down=false).
+// Failed nodes reject Submit and are skipped by RouteLive. Recovery keeps
+// the node's previous timeline (its cores resume from where they were).
+func (c *Cluster) SetDown(node int, down bool) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0, %d)", node, len(c.nodes))
+	}
+	if c.down == nil {
+		c.down = make(map[int]bool)
+	}
+	if down {
+		c.down[node] = true
+	} else {
+		delete(c.down, node)
+	}
+	return nil
+}
+
+// Live returns the number of nodes currently up.
+func (c *Cluster) Live() int { return len(c.nodes) - len(c.down) }
+
+// IsDown reports whether a node is failed.
+func (c *Cluster) IsDown(node int) bool { return c.down[node] }
+
+// RouteLive maps a key to its owning node, skipping failed nodes by
+// deterministic linear probing (the next live node in ring order takes over
+// the shard, the usual consistent-fallback policy). It returns an error
+// when every node is down.
+func (c *Cluster) RouteLive(key uint64) (int, error) {
+	if c.Live() == 0 {
+		return 0, ErrClusterDown
+	}
+	node := c.Route(key)
+	for i := 0; i < len(c.nodes); i++ {
+		cand := (node + i) % len(c.nodes)
+		if !c.down[cand] {
+			return cand, nil
+		}
+	}
+	return 0, ErrClusterDown // unreachable given the Live check
+}
+
+// SubmitLive is Submit with failure awareness: it rejects tasks for down
+// nodes.
+func (c *Cluster) SubmitLive(node int, arrival, service time.Duration) (time.Duration, error) {
+	if node >= 0 && node < len(c.nodes) && c.down[node] {
+		return 0, fmt.Errorf("%w: node %d", ErrNodeDown, node)
+	}
+	return c.Submit(node, arrival, service)
+}
+
+// RunWorkloadLive schedules the batch like RunWorkload but routes around
+// failed nodes; keys whose shards have no live fallback are dropped from
+// the statistics (Count reflects completions).
+func (c *Cluster) RunWorkloadLive(keys []uint64, service func(key uint64) time.Duration) WorkloadStats {
+	lat := make([]time.Duration, 0, len(keys))
+	for _, k := range keys {
+		node, err := c.RouteLive(k)
+		if err != nil {
+			continue
+		}
+		done, err := c.Submit(node, 0, service(k))
+		if err != nil {
+			continue
+		}
+		lat = append(lat, done+c.cfg.Net.RTT)
+	}
+	return summarize(lat)
+}

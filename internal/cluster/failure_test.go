@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSetDownValidation(t *testing.T) {
+	c := small()
+	if err := c.SetDown(99, true); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+	if err := c.SetDown(0, true); err != nil {
+		t.Fatalf("SetDown: %v", err)
+	}
+	if !c.IsDown(0) || c.Live() != 3 {
+		t.Errorf("IsDown/Live wrong after failure: %v %d", c.IsDown(0), c.Live())
+	}
+	if err := c.SetDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsDown(0) || c.Live() != 4 {
+		t.Error("recovery did not restore node")
+	}
+}
+
+func TestRouteLiveSkipsFailedNodes(t *testing.T) {
+	c := small()
+	// Find a key owned by node 1, then fail node 1.
+	var key uint64
+	for k := uint64(0); ; k++ {
+		if c.Route(k) == 1 {
+			key = k
+			break
+		}
+	}
+	if err := c.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	node, err := c.RouteLive(key)
+	if err != nil {
+		t.Fatalf("RouteLive: %v", err)
+	}
+	if node == 1 {
+		t.Error("RouteLive returned the failed node")
+	}
+	if node != 2 { // linear fallback: next node in ring order
+		t.Errorf("fallback node = %d, want 2", node)
+	}
+	// Keys owned by healthy nodes are unaffected.
+	for k := uint64(0); k < 50; k++ {
+		if c.Route(k) != 1 {
+			got, err := c.RouteLive(k)
+			if err != nil || got != c.Route(k) {
+				t.Fatalf("healthy key rerouted: %d -> %d (%v)", c.Route(k), got, err)
+			}
+		}
+	}
+}
+
+func TestSubmitLiveRejectsDownNode(t *testing.T) {
+	c := small()
+	_ = c.SetDown(2, true)
+	if _, err := c.SubmitLive(2, 0, time.Millisecond); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("SubmitLive on down node: %v", err)
+	}
+	if _, err := c.SubmitLive(0, 0, time.Millisecond); err != nil {
+		t.Errorf("SubmitLive on live node: %v", err)
+	}
+	// Bad node index still reports range error, not down error.
+	if _, err := c.SubmitLive(99, 0, time.Millisecond); errors.Is(err, ErrNodeDown) {
+		t.Error("range error misreported as down")
+	}
+}
+
+func TestAllNodesDown(t *testing.T) {
+	c := small()
+	for i := 0; i < c.Nodes(); i++ {
+		_ = c.SetDown(i, true)
+	}
+	if c.Live() != 0 {
+		t.Fatalf("Live = %d", c.Live())
+	}
+	if _, err := c.RouteLive(1); !errors.Is(err, ErrClusterDown) {
+		t.Errorf("RouteLive with no live nodes: %v", err)
+	}
+	st := c.RunWorkloadLive([]uint64{1, 2, 3}, func(uint64) time.Duration { return time.Millisecond })
+	if st.Count != 0 {
+		t.Errorf("dead cluster completed %d tasks", st.Count)
+	}
+}
+
+func TestFailureShiftsLoadToSurvivors(t *testing.T) {
+	// With half the nodes down, the same workload takes longer (fewer
+	// servers) but still completes fully.
+	keys := make([]uint64, 400)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	service := func(uint64) time.Duration { return time.Millisecond }
+
+	healthy := small()
+	healthyStats := healthy.RunWorkloadLive(keys, service)
+
+	degraded := small()
+	_ = degraded.SetDown(0, true)
+	_ = degraded.SetDown(1, true)
+	degradedStats := degraded.RunWorkloadLive(keys, service)
+
+	if degradedStats.Count != len(keys) {
+		t.Fatalf("degraded cluster completed %d/%d", degradedStats.Count, len(keys))
+	}
+	if degradedStats.Mean <= healthyStats.Mean {
+		t.Errorf("failure did not increase latency: %v vs %v", degradedStats.Mean, healthyStats.Mean)
+	}
+	// No task may have run on a failed node.
+	if degraded.nodes[0].tasks != 0 || degraded.nodes[1].tasks != 0 {
+		t.Error("failed nodes executed tasks")
+	}
+}

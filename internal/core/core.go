@@ -1,0 +1,519 @@
+// Package core implements FAST itself: the near-real-time searchable data
+// analytics engine of the paper, assembled from the four modules of
+// Section III:
+//
+//   - FE (Feature Extraction): DoG interest points + PCA-SIFT descriptors
+//     (internal/feature);
+//   - SM (Summarization): per-image Bloom-filter summaries of the quantized
+//     descriptors, stored sparsely (internal/bloom);
+//   - SA (Semantic Aggregation): locality-sensitive hashing over the
+//     summaries (internal/lsh) — MinHash banding in Jaccard space by
+//     default, with the paper's p-stable family available for ablation;
+//   - CHS (Cuckoo-Hashing Storage): flat-structured addressing of the
+//     per-image index records with constant-width parallel probing
+//     (internal/cuckoo).
+//
+// A query renders the same pipeline on the probe image, collects LSH
+// candidates in O(1), fetches their summaries through the flat cuckoo table
+// (probes are independent and parallelizable), ranks them by summary
+// similarity, and returns the correlated group. False positives are
+// tolerated (the use case post-verifies results); false negatives are
+// suppressed by multi-probing adjacent buckets.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fastrepro/fast/internal/bloom"
+	"github.com/fastrepro/fast/internal/cuckoo"
+	"github.com/fastrepro/fast/internal/feature"
+	"github.com/fastrepro/fast/internal/lsh"
+	"github.com/fastrepro/fast/internal/simimg"
+	"github.com/fastrepro/fast/internal/store"
+)
+
+// SearchResult is one ranked hit.
+type SearchResult struct {
+	ID    uint64
+	Score float64 // Jaccard similarity of Bloom summaries, in [0, 1]
+}
+
+// BuildStats reports index-construction work, split the way Figure 3
+// splits it: feature representation vs index storage.
+type BuildStats struct {
+	Photos      int
+	FeatureTime time.Duration // detection + description (FE)
+	SummaryTime time.Duration // Bloom summarization (SM)
+	IndexTime   time.Duration // LSH insertion + cuckoo storage (SA+CHS)
+	Descriptors int
+}
+
+// Probe is a query input: the image, plus an optional geo hint used by
+// tag-based schemes (RNPE indexes location views, so the use case supplies
+// the place the child was last seen).
+type Probe struct {
+	Img *simimg.Image
+	Loc *simimg.GeoPoint
+}
+
+// SimCost accumulates the simulated storage charges a pipeline incurs; the
+// cluster-scale experiments convert operation counts into modeled time via
+// the store package's device models.
+type SimCost struct {
+	StorageTime time.Duration // modeled storage latency (disk or RAM)
+	ComputeTime time.Duration // modeled CPU work not executed for real
+	Accesses    int64         // storage operations performed
+	BytesMoved  int64         // bytes read/written from the store
+}
+
+// Pipeline is the scheme-agnostic interface the evaluation harness drives;
+// the FAST engine and all three baselines implement it.
+type Pipeline interface {
+	Name() string
+	// Build indexes the corpus from scratch.
+	Build(photos []*simimg.Photo) (BuildStats, error)
+	// Insert adds one photo to an existing index.
+	Insert(p *simimg.Photo) error
+	// Search returns up to topK hits for the probe, best first.
+	Search(probe Probe, topK int) ([]SearchResult, error)
+	// IndexBytes reports the index's resident size (Table IV).
+	IndexBytes() int64
+	// SimCost reports accumulated simulated storage charges.
+	SimCost() SimCost
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// PCADim is the PCA-SIFT dimensionality; 0 selects the library default.
+	PCADim int
+	// TrainingSample is how many corpus images train the PCA basis;
+	// 0 means 32.
+	TrainingSample int
+	// Detect configures interest-point detection.
+	Detect feature.DetectConfig
+	// Summary is the Bloom summary geometry.
+	Summary bloom.SummaryConfig
+	// LSH parameterizes semantic aggregation: MinHash banding over the
+	// sparse Bloom summaries (the Jaccard-space LSH family; see the
+	// internal/lsh package for why the paper's p-stable family is kept as
+	// an ablation rather than the default).
+	LSH lsh.MinHashParams
+	// TableCapacity sizes the cuckoo table; 0 derives it from the corpus
+	// (2x photos, minimum 1024).
+	TableCapacity int
+	// Neighborhood is the flat-cuckoo ν; 0 means cuckoo.DefaultNeighborhood.
+	Neighborhood int
+	// MinScore drops candidates below this summary similarity; 0 means 0.05.
+	MinScore float64
+	// GroupExpand re-queries the LSH index with the summaries of the top-N
+	// verified hits and merges their correlated groups into the result (the
+	// paper's Semantic Aggregation returns whole correlation-aware groups,
+	// and a stored group member's summary recalls its groupmates far more
+	// reliably than the noisy probe). 0 means 8; negative disables.
+	GroupExpand int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrainingSample == 0 {
+		c.TrainingSample = 32
+	}
+	c.Summary = c.Summary.WithDefaults()
+	if c.Neighborhood == 0 {
+		c.Neighborhood = cuckoo.DefaultNeighborhood
+	}
+	if c.MinScore == 0 {
+		c.MinScore = 0.05
+	}
+	if c.GroupExpand == 0 {
+		c.GroupExpand = 8
+	}
+	return c
+}
+
+// entry is the per-photo index record.
+type entry struct {
+	id      uint64
+	summary *bloom.Sparse
+}
+
+// Engine is the FAST index.
+type Engine struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	pcasift *feature.PCASIFT
+	index   *lsh.MinHash
+	table   *cuckoo.Flat
+	entries []entry // table values are indexes into this slice
+	byID    map[uint64]int
+
+	ram   store.DiskModel // cost model for the in-memory index
+	simMu sync.Mutex      // guards sim (queries under RLock also charge it)
+	sim   SimCost
+}
+
+// NewEngine returns an unbuilt engine; Build must run before Query/Insert.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), byID: make(map[uint64]int), ram: store.RAM()}
+}
+
+// Name implements Pipeline.
+func (e *Engine) Name() string { return "FAST" }
+
+// Build trains the PCA basis on a sample of the corpus and indexes every
+// photo. It implements Pipeline.
+func (e *Engine) Build(photos []*simimg.Photo) (BuildStats, error) {
+	var st BuildStats
+	if len(photos) == 0 {
+		return st, errors.New("core: empty corpus")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if err := e.trainLocked(photos); err != nil {
+		return st, err
+	}
+	if err := e.allocLocked(len(photos)); err != nil {
+		return st, err
+	}
+
+	for _, ph := range photos {
+		bs, err := e.insertLocked(ph)
+		if err != nil {
+			return st, fmt.Errorf("core: indexing photo %d: %w", ph.ID, err)
+		}
+		st.Photos++
+		st.FeatureTime += bs.FeatureTime
+		st.SummaryTime += bs.SummaryTime
+		st.IndexTime += bs.IndexTime
+		st.Descriptors += bs.Descriptors
+	}
+	return st, nil
+}
+
+// Insert adds one photo to a built index. It implements Pipeline.
+func (e *Engine) Insert(p *simimg.Photo) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pcasift == nil {
+		return errors.New("core: engine not built")
+	}
+	_, err := e.insertLocked(p)
+	return err
+}
+
+// insertLocked runs FE -> SM -> SA -> CHS for one photo.
+func (e *Engine) insertLocked(p *simimg.Photo) (BuildStats, error) {
+	var st BuildStats
+	if _, dup := e.byID[p.ID]; dup {
+		return st, fmt.Errorf("core: photo %d already indexed", p.ID)
+	}
+
+	// FE: interest points and PCA-SIFT descriptors.
+	t0 := time.Now()
+	_, descs, err := e.pcasift.DescribeAll(p.Img, e.cfg.Detect)
+	if err != nil {
+		return st, err
+	}
+	st.FeatureTime = time.Since(t0)
+	st.Descriptors = len(descs)
+
+	// SM: Bloom summary of the descriptor set.
+	t1 := time.Now()
+	vecs := make([][]float64, len(descs))
+	for i, d := range descs {
+		vecs[i] = d
+	}
+	filter, err := bloom.Summarize(vecs, e.cfg.Summary)
+	if err != nil {
+		return st, err
+	}
+	sparse := bloom.ToSparse(filter)
+	st.SummaryTime = time.Since(t1)
+
+	// SA: LSH insertion of the sparse summary (its set-bit positions are
+	// the element set the Jaccard-space hashes operate on). Images with no
+	// detectable features produce empty summaries; they are stored in the
+	// flat table but cannot be aggregated semantically.
+	t2 := time.Now()
+	if len(sparse.Bits) > 0 {
+		if err := e.index.Insert(lsh.ItemID(p.ID), sparse.Bits); err != nil {
+			return st, err
+		}
+	}
+	// CHS: flat cuckoo storage of the index record.
+	slot := len(e.entries)
+	e.entries = append(e.entries, entry{id: p.ID, summary: sparse})
+	if err := e.table.Insert(p.ID, uint64(slot)); err != nil {
+		return st, fmt.Errorf("flat table: %w", err)
+	}
+	e.byID[p.ID] = slot
+	st.IndexTime = time.Since(t2)
+	st.Photos = 1
+	e.chargeSim(e.ram.RandomWrite(int64(sparse.SizeBytes())), int64(sparse.SizeBytes()))
+	return st, nil
+}
+
+// Len returns the number of indexed photos (excluding deleted ones).
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.byID)
+}
+
+// Summarize runs FE+SM on an image without touching the index; it is used
+// by Query and exposed for the smartphone-side client.
+func (e *Engine) Summarize(img *simimg.Image) (*bloom.Filter, error) {
+	e.mu.RLock()
+	p := e.pcasift
+	e.mu.RUnlock()
+	if p == nil {
+		return nil, errors.New("core: engine not built")
+	}
+	_, descs, err := p.DescribeAll(img, e.cfg.Detect)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([][]float64, len(descs))
+	for i, d := range descs {
+		vecs[i] = d
+	}
+	return bloom.Summarize(vecs, e.cfg.Summary)
+}
+
+// Search implements Pipeline; the geo hint is ignored (FAST is
+// content-based).
+func (e *Engine) Search(probe Probe, topK int) ([]SearchResult, error) {
+	return e.QueryParallel(probe.Img, topK, 1)
+}
+
+// Query answers a probe image with a single scoring worker.
+func (e *Engine) Query(img *simimg.Image, topK int) ([]SearchResult, error) {
+	return e.QueryParallel(img, topK, 1)
+}
+
+// QueryParallel answers a probe with the given number of candidate-scoring
+// workers (0 means GOMAXPROCS): LSH candidates are fetched through the flat
+// cuckoo table with LookupBatch and scored by sparse-summary Jaccard
+// similarity in parallel — the multicore path of Figure 7.
+func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]SearchResult, error) {
+	if topK <= 0 {
+		return nil, fmt.Errorf("core: topK must be positive, got %d", topK)
+	}
+	probe, err := e.Summarize(img)
+	if err != nil {
+		return nil, err
+	}
+	probeSparse := bloom.ToSparse(probe)
+	if len(probeSparse.Bits) == 0 {
+		return nil, nil // featureless probe: nothing to aggregate on
+	}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.index == nil {
+		return nil, errors.New("core: engine not built")
+	}
+	ids, err := e.index.Query(probeSparse.Bits)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	keys := make([]uint64, len(ids))
+	for i, id := range ids {
+		keys[i] = uint64(id)
+	}
+	slots := e.table.LookupBatch(keys, workers)
+
+	// Charge the candidate summary fetches to the in-memory cost model
+	// (constant work per candidate: this is the O(1) flat addressing).
+	for _, s := range slots {
+		if s.Found {
+			sz := int64(e.entries[s.Value].summary.SizeBytes())
+			e.chargeSim(e.ram.RandomRead(sz), sz)
+		}
+	}
+
+	results := make([]SearchResult, len(ids))
+	var wg sync.WaitGroup
+	nw := workers
+	if nw <= 0 {
+		nw = 1
+	}
+	chunk := (len(ids) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if !slots[i].Found {
+					results[i].Score = -1
+					continue
+				}
+				ent := e.entries[slots[i].Value]
+				sim, err := bloom.JaccardSparse(probeSparse, ent.summary)
+				if err != nil {
+					results[i].Score = -1
+					continue
+				}
+				results[i] = SearchResult{ID: ent.id, Score: sim}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Filter and rank.
+	kept := results[:0]
+	for _, r := range results {
+		if r.Score >= e.cfg.MinScore {
+			kept = append(kept, r)
+		}
+	}
+	sortResults(kept)
+
+	// Group expansion: the strongest hits are members of the probe's
+	// correlated group; their stored summaries are clean representatives of
+	// that group, so re-querying with them recovers groupmates the noisy
+	// probe missed (false-negative suppression, Section III-C2).
+	if e.cfg.GroupExpand > 0 {
+		inResult := make(map[uint64]bool, len(kept))
+		for _, r := range kept {
+			inResult[r.ID] = true
+		}
+		expandFrom := e.cfg.GroupExpand
+		if expandFrom > len(kept) {
+			expandFrom = len(kept)
+		}
+		for h := 0; h < expandFrom; h++ {
+			hit := kept[h]
+			slot, ok := e.byID[hit.ID]
+			if !ok {
+				continue
+			}
+			rep := e.entries[slot].summary
+			if len(rep.Bits) == 0 {
+				continue
+			}
+			groupIDs, err := e.index.Query(rep.Bits)
+			if err != nil {
+				continue
+			}
+			for _, gid := range groupIDs {
+				id := uint64(gid)
+				if inResult[id] {
+					continue
+				}
+				gslot, ok := e.byID[id]
+				if !ok {
+					continue
+				}
+				sim, err := bloom.JaccardSparse(rep, e.entries[gslot].summary)
+				if err != nil || sim < e.cfg.MinScore {
+					continue
+				}
+				e.chargeSim(e.ram.RandomRead(int64(e.entries[gslot].summary.SizeBytes())), 0)
+				inResult[id] = true
+				// Member score: affinity to the group representative,
+				// discounted by the representative's own probe score.
+				kept = append(kept, SearchResult{ID: id, Score: hit.Score * sim})
+			}
+		}
+		sortResults(kept)
+	}
+
+	if len(kept) > topK {
+		kept = kept[:topK]
+	}
+	return append([]SearchResult(nil), kept...), nil
+}
+
+// sortResults orders by descending score, then ascending ID for stability.
+func sortResults(rs []SearchResult) {
+	// Insertion sort is fine at candidate-set sizes; keeps the package
+	// dependency-light and deterministic.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && less(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func less(a, b SearchResult) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// IndexBytes implements Pipeline: the resident size of FAST's index — the
+// sparse summaries plus the LSH tables (8 bytes per reference) plus the
+// cuckoo cells (16 bytes each).
+func (e *Engine) IndexBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var total int64
+	for _, ent := range e.entries {
+		if ent.summary == nil { // deletion tombstone
+			continue
+		}
+		total += int64(ent.summary.SizeBytes())
+	}
+	if e.index != nil {
+		st := e.index.Stats()
+		total += int64(st.TotalRefs) * 8
+	}
+	if e.table != nil {
+		total += int64(e.table.Cap()) * 16
+	}
+	return total
+}
+
+// TableStats exposes the flat table's counters (Figure 6 instrumentation).
+func (e *Engine) TableStats() cuckoo.Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.table == nil {
+		return cuckoo.Stats{}
+	}
+	return e.table.Stats()
+}
+
+// LSHStats exposes LSH bucket occupancy.
+func (e *Engine) LSHStats() lsh.BucketStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.index == nil {
+		return lsh.BucketStats{}
+	}
+	return e.index.Stats()
+}
+
+// chargeSim records one modeled storage access.
+func (e *Engine) chargeSim(latency time.Duration, bytes int64) {
+	e.simMu.Lock()
+	e.sim.StorageTime += latency
+	e.sim.Accesses++
+	e.sim.BytesMoved += bytes
+	e.simMu.Unlock()
+}
+
+// SimCost implements Pipeline.
+func (e *Engine) SimCost() SimCost {
+	e.simMu.Lock()
+	defer e.simMu.Unlock()
+	return e.sim
+}
+
+var _ Pipeline = (*Engine)(nil)

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/simimg"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+// testDataset builds a small deterministic corpus.
+func testDataset(t *testing.T) *workload.Dataset {
+	t.Helper()
+	ds, err := workload.Generate(workload.Spec{
+		Name:        "core-test",
+		Scenes:      6,
+		Photos:      120,
+		Subjects:    4,
+		SubjectRate: 0.3,
+		Resolution:  64,
+		Seed:        11,
+		SceneBase:   700,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+func builtEngine(t *testing.T, ds *workload.Dataset) *Engine {
+	t.Helper()
+	e := NewEngine(Config{})
+	st, err := e.Build(ds.Photos)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if st.Photos != len(ds.Photos) {
+		t.Fatalf("BuildStats.Photos = %d, want %d", st.Photos, len(ds.Photos))
+	}
+	if st.FeatureTime <= 0 || st.IndexTime <= 0 {
+		t.Errorf("timing breakdown missing: %+v", st)
+	}
+	if st.Descriptors == 0 {
+		t.Error("no descriptors extracted during build")
+	}
+	return e
+}
+
+func TestBuildValidation(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, err := e.Build(nil); err == nil {
+		t.Error("empty corpus should fail")
+	}
+	if err := e.Insert(&simimg.Photo{ID: 1, Img: simimg.New(64, 64)}); err == nil {
+		t.Error("Insert before Build should fail")
+	}
+	if _, err := e.Query(simimg.New(64, 64), 5); err == nil {
+		t.Error("Query before Build should fail")
+	}
+}
+
+func TestBuildAndQueryEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	if e.Len() != len(ds.Photos) {
+		t.Fatalf("Len = %d, want %d", e.Len(), len(ds.Photos))
+	}
+
+	qs, err := ds.Queries(12, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc metrics.Accuracy
+	totalCand := 0
+	for _, q := range qs {
+		res, err := e.Query(q.Probe, 100)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		totalCand += len(res)
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		acc.Add(metrics.ScoreRetrieval(ids, q.Relevant).Recall())
+		// Results must be sorted by descending score.
+		for i := 1; i < len(res); i++ {
+			if res[i].Score > res[i-1].Score {
+				t.Fatal("results not sorted by score")
+			}
+		}
+	}
+	if acc.Mean() < 0.3 {
+		t.Errorf("mean scene recall %v too low for near-duplicate probes", acc.Mean())
+	}
+	if totalCand == 0 {
+		t.Fatal("no candidates returned across all queries")
+	}
+}
+
+func TestQueryNarrowsScope(t *testing.T) {
+	// The headline property: FAST returns a small correlated group, not the
+	// whole corpus, and the group is enriched in same-scene photos.
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	qs, err := ds.Queries(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		res, err := e.Query(q.Probe, len(ds.Photos))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 {
+			continue
+		}
+		sameScene := 0
+		for _, r := range res {
+			if q.Relevant[r.ID] {
+				sameScene++
+			}
+		}
+		frac := float64(sameScene) / float64(len(res))
+		baseRate := float64(len(q.Relevant)) / float64(len(ds.Photos))
+		if frac < baseRate {
+			t.Errorf("scene %d: result enrichment %.2f below base rate %.2f",
+				q.Scene, frac, baseRate)
+		}
+	}
+}
+
+func TestTopKLimit(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	qs, _ := ds.Queries(1, 2)
+	res, err := e.Query(qs[0].Probe, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) > 3 {
+		t.Errorf("topK violated: %d results", len(res))
+	}
+	if _, err := e.Query(qs[0].Probe, 0); err == nil {
+		t.Error("topK 0 should fail")
+	}
+}
+
+func TestInsertAfterBuild(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	rng := rand.New(rand.NewSource(9))
+	scene := simimg.NewScene(700)
+	p := simimg.RenderPhoto(999_999, scene, simimg.PhotoParams{Resolution: 64, Severity: 0.02}, rng)
+	if err := e.Insert(p); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if e.Len() != len(ds.Photos)+1 {
+		t.Errorf("Len = %d after insert", e.Len())
+	}
+	// Duplicate IDs rejected.
+	if err := e.Insert(p); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+	// The new photo is findable via near-duplicate probes. LSH recall is
+	// probabilistic per probe, so try a few independent probes and require
+	// at least one hit (expected hit rate per probe is >0.9 at this
+	// similarity).
+	found := false
+	for trial := 0; trial < 3 && !found; trial++ {
+		probe := simimg.RenderPhoto(0, scene, simimg.PhotoParams{Resolution: 64, Severity: 0.02}, rng)
+		res, err := e.Query(probe.Img, len(ds.Photos)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.ID == 999_999 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("freshly inserted photo not retrievable by scene probes")
+	}
+}
+
+func TestQueryParallelMatchesSerial(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	qs, _ := ds.Queries(4, 8)
+	for _, q := range qs {
+		serial, err := e.QueryParallel(q.Probe, 50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := e.QueryParallel(q.Probe, 50, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(parallel) {
+			t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("results differ at %d: %+v vs %+v", i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+func TestIndexBytesSmallVersusRawFeatures(t *testing.T) {
+	// Table IV's mechanism: the FAST index is a small fraction of the raw
+	// descriptor footprint.
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	idx := e.IndexBytes()
+	if idx <= 0 {
+		t.Fatal("IndexBytes not positive")
+	}
+	// Raw PCA-SIFT features: descriptors * dim * 8 bytes. Even the compact
+	// PCA representation dwarfs the Bloom summaries.
+	var raw int64
+	for range ds.Photos {
+		raw += 64 * 20 * 8 // MaxKeypoints * PCA dim * float64
+	}
+	if idx >= raw {
+		t.Errorf("index %dB not smaller than raw features %dB", idx, raw)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	e := NewEngine(Config{})
+	if st := e.TableStats(); st.Inserts != 0 {
+		t.Error("unbuilt engine has table stats")
+	}
+	if st := e.LSHStats(); st.Buckets != 0 {
+		t.Error("unbuilt engine has LSH stats")
+	}
+	ds := testDataset(t)
+	e = builtEngine(t, ds)
+	if st := e.TableStats(); st.Inserts != len(ds.Photos) {
+		t.Errorf("table inserts = %d, want %d", st.Inserts, len(ds.Photos))
+	}
+	if st := e.LSHStats(); st.TotalRefs == 0 {
+		t.Error("LSH has no references after build")
+	}
+	if e.TableStats().Failures != 0 {
+		t.Error("flat table failed during build at low load")
+	}
+}
+
+func TestSummarizeConsistency(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	img := ds.Photos[0].Img
+	a, err := e.Summarize(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Summarize(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PopCount() != b.PopCount() {
+		t.Error("Summarize not deterministic")
+	}
+}
+
+func TestGroupExpandDisabled(t *testing.T) {
+	ds := testDataset(t)
+	expanded := NewEngine(Config{})
+	plain := NewEngine(Config{GroupExpand: -1})
+	if _, err := expanded.Build(ds.Photos); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Build(ds.Photos); err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := ds.Queries(8, 71)
+	var withExp, without int
+	for _, q := range qs {
+		a, err := expanded.Query(q.Probe, len(ds.Photos))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := plain.Query(q.Probe, len(ds.Photos))
+		if err != nil {
+			t.Fatal(err)
+		}
+		withExp += len(a)
+		without += len(b)
+	}
+	// Expansion must never shrink the result set, and across a batch of
+	// queries it should recover strictly more group members.
+	if withExp < without {
+		t.Fatalf("expansion returned fewer results: %d vs %d", withExp, without)
+	}
+	if withExp == without {
+		t.Error("group expansion had no effect across 8 queries (suspicious)")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fastrepro/fast/internal/cuckoo"
+	"github.com/fastrepro/fast/internal/lsh"
+)
+
+// Delete removes a photo from the index: its LSH references, its flat-table
+// slot and its summary. The entries slice keeps a tombstone (nil summary)
+// so other slots stay valid; tombstones are reclaimed on the next Build.
+// It returns an error if the photo is not indexed.
+func (e *Engine) Delete(id uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.index == nil {
+		return fmt.Errorf("core: engine not built")
+	}
+	slot, ok := e.byID[id]
+	if !ok {
+		return fmt.Errorf("core: photo %d not indexed", id)
+	}
+	sp := e.entries[slot].summary
+	if sp != nil && len(sp.Bits) > 0 {
+		if _, err := e.index.Delete(lsh.ItemID(id), sp.Bits); err != nil {
+			return fmt.Errorf("core: removing LSH references: %w", err)
+		}
+	}
+	if !e.table.Delete(id) {
+		return fmt.Errorf("core: photo %d missing from flat table (index corrupt)", id)
+	}
+	e.entries[slot] = entry{} // tombstone
+	delete(e.byID, id)
+	return nil
+}
+
+// Contains reports whether a photo is currently indexed.
+func (e *Engine) Contains(id uint64) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.byID[id]
+	return ok
+}
+
+// Compact rebuilds the entry storage without deletion tombstones, shrinking
+// the per-entry slice and refreshing the flat table. Long-running
+// deployments call it after bulk deletions; queries and inserts work
+// identically before and after.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.table == nil {
+		return fmt.Errorf("core: engine not built")
+	}
+	live := make([]entry, 0, len(e.byID))
+	for _, ent := range e.entries {
+		if ent.summary != nil {
+			live = append(live, ent)
+		}
+	}
+	capacity := e.cfg.TableCapacity
+	if capacity == 0 {
+		capacity = e.table.Cap() // keep the existing size
+	}
+	table, err := cuckoo.NewFlat(capacity, e.cfg.Neighborhood, 0, 12345)
+	if err != nil {
+		return err
+	}
+	byID := make(map[uint64]int, len(live))
+	for slot, ent := range live {
+		if err := table.Insert(ent.id, uint64(slot)); err != nil {
+			return fmt.Errorf("core: compacting entry %d: %w", ent.id, err)
+		}
+		byID[ent.id] = slot
+	}
+	e.entries = live
+	e.table = table
+	e.byID = byID
+	return nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/fastrepro/fast/internal/bloom"
+	"github.com/fastrepro/fast/internal/cuckoo"
+	"github.com/fastrepro/fast/internal/feature"
+	"github.com/fastrepro/fast/internal/lsh"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// BuildParallel builds the index like Build but extracts features and
+// summaries with the given number of workers (0 means GOMAXPROCS). Feature
+// extraction dominates construction cost and is embarrassingly parallel
+// (the evaluation cluster runs it on 32 cores per node); the LSH and cuckoo
+// insertions remain sequential, which keeps the index deterministic for a
+// given photo order.
+func (e *Engine) BuildParallel(photos []*simimg.Photo, workers int) (BuildStats, error) {
+	var st BuildStats
+	if len(photos) == 0 {
+		return st, errors.New("core: empty corpus")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if err := e.trainLocked(photos); err != nil {
+		return st, err
+	}
+	if err := e.allocLocked(len(photos)); err != nil {
+		return st, err
+	}
+
+	type prepared struct {
+		photo  *simimg.Photo
+		sparse *bloom.Sparse
+		descs  int
+		err    error
+	}
+	out := make([]prepared, len(photos))
+
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				p := photos[i]
+				_, descs, err := e.pcasift.DescribeAll(p.Img, e.cfg.Detect)
+				if err != nil {
+					out[i] = prepared{photo: p, err: err}
+					continue
+				}
+				vecs := make([][]float64, len(descs))
+				for j, d := range descs {
+					vecs[j] = d
+				}
+				filter, err := bloom.Summarize(vecs, e.cfg.Summary)
+				if err != nil {
+					out[i] = prepared{photo: p, err: err}
+					continue
+				}
+				out[i] = prepared{photo: p, sparse: bloom.ToSparse(filter), descs: len(descs)}
+			}
+		}()
+	}
+	for i := range photos {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	prepTime := time.Since(t0)
+
+	t1 := time.Now()
+	for i := range out {
+		pr := &out[i]
+		if pr.err != nil {
+			return st, fmt.Errorf("core: preparing photo %d: %w", pr.photo.ID, pr.err)
+		}
+		if err := e.storeLocked(pr.photo.ID, pr.sparse); err != nil {
+			return st, fmt.Errorf("core: indexing photo %d: %w", pr.photo.ID, err)
+		}
+		st.Photos++
+		st.Descriptors += pr.descs
+	}
+	st.FeatureTime = prepTime
+	st.IndexTime = time.Since(t1)
+	return st, nil
+}
+
+// trainLocked fits the PCA basis on a deterministic corpus sample.
+func (e *Engine) trainLocked(photos []*simimg.Photo) error {
+	sampleN := e.cfg.TrainingSample
+	if sampleN > len(photos) {
+		sampleN = len(photos)
+	}
+	stride := len(photos) / sampleN
+	if stride == 0 {
+		stride = 1
+	}
+	training := make([]*simimg.Image, 0, sampleN)
+	for i := 0; i < len(photos) && len(training) < sampleN; i += stride {
+		training = append(training, photos[i].Img)
+	}
+	p, err := feature.TrainPCASIFT(training, e.cfg.Detect, e.cfg.PCADim)
+	if err != nil {
+		return fmt.Errorf("core: training PCA-SIFT: %w", err)
+	}
+	e.pcasift = p
+	return nil
+}
+
+// allocLocked sizes the LSH index and flat table for n photos.
+func (e *Engine) allocLocked(n int) error {
+	capacity := e.cfg.TableCapacity
+	if capacity == 0 {
+		capacity = 2 * n
+		if capacity < 1024 {
+			capacity = 1024
+		}
+	}
+	var err error
+	e.index, err = lsh.NewMinHash(e.cfg.LSH)
+	if err != nil {
+		return fmt.Errorf("core: building LSH index: %w", err)
+	}
+	e.table, err = cuckoo.NewFlat(capacity, e.cfg.Neighborhood, 0, 12345)
+	if err != nil {
+		return fmt.Errorf("core: building cuckoo table: %w", err)
+	}
+	e.entries = e.entries[:0]
+	e.byID = make(map[uint64]int, n)
+	return nil
+}
+
+// storeLocked runs SA+CHS for a prepared summary.
+func (e *Engine) storeLocked(id uint64, sparse *bloom.Sparse) error {
+	if _, dup := e.byID[id]; dup {
+		return fmt.Errorf("core: photo %d already indexed", id)
+	}
+	if len(sparse.Bits) > 0 {
+		if err := e.index.Insert(lsh.ItemID(id), sparse.Bits); err != nil {
+			return err
+		}
+	}
+	slot := len(e.entries)
+	e.entries = append(e.entries, entry{id: id, summary: sparse})
+	if err := e.table.Insert(id, uint64(slot)); err != nil {
+		return fmt.Errorf("flat table: %w", err)
+	}
+	e.byID[id] = slot
+	e.chargeSim(e.ram.RandomWrite(int64(sparse.SizeBytes())), int64(sparse.SizeBytes()))
+	return nil
+}

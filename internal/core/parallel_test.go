@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	ds := testDataset(t)
+
+	seq := NewEngine(Config{})
+	if _, err := seq.Build(ds.Photos); err != nil {
+		t.Fatalf("sequential build: %v", err)
+	}
+	par := NewEngine(Config{})
+	st, err := par.BuildParallel(ds.Photos, 4)
+	if err != nil {
+		t.Fatalf("parallel build: %v", err)
+	}
+	if st.Photos != len(ds.Photos) || st.Descriptors == 0 {
+		t.Fatalf("parallel build stats: %+v", st)
+	}
+	if par.Len() != seq.Len() {
+		t.Fatalf("parallel Len %d != sequential %d", par.Len(), seq.Len())
+	}
+	if par.IndexBytes() != seq.IndexBytes() {
+		t.Errorf("index sizes differ: %d vs %d", par.IndexBytes(), seq.IndexBytes())
+	}
+
+	// Query results are identical: same PCA training sample, same summary
+	// pipeline, same photo order into LSH and the table.
+	qs, err := ds.Queries(6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range qs {
+		a, err := seq.Query(q.Probe, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Query(q.Probe, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, err := e.BuildParallel(nil, 4); err == nil {
+		t.Error("empty corpus should fail")
+	}
+	ds := testDataset(t)
+	// workers <= 0 defaults to GOMAXPROCS and still works.
+	if _, err := e.BuildParallel(ds.Photos[:20], 0); err != nil {
+		t.Fatalf("workers=0: %v", err)
+	}
+	if e.Len() != 20 {
+		t.Errorf("Len = %d, want 20", e.Len())
+	}
+}
+
+func TestBuildParallelRejectsDuplicatePhotos(t *testing.T) {
+	ds := testDataset(t)
+	e := NewEngine(Config{})
+	photos := append(ds.Photos[:5:5], ds.Photos[4]) // duplicate ID
+	if _, err := e.BuildParallel(photos, 2); err == nil {
+		t.Error("duplicate photo IDs should fail the build")
+	}
+}

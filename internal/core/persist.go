@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/fastrepro/fast/internal/bloom"
+	"github.com/fastrepro/fast/internal/cuckoo"
+	"github.com/fastrepro/fast/internal/feature"
+	"github.com/fastrepro/fast/internal/linalg"
+	"github.com/fastrepro/fast/internal/lsh"
+)
+
+// The on-disk index format. FAST is "a system middleware that can run on
+// existing systems ... by using the general file system interface", so the
+// engine can persist its index — the PCA basis plus every photo's sparse
+// summary — and rebuild the in-memory LSH tables and cuckoo storage on
+// load. Summaries dominate the file and they are exactly the paper's
+// space-efficient representation, so snapshots stay small (tens of bytes
+// per photo).
+//
+// Layout (little-endian):
+//
+//	magic   [8]byte  "FASTIDX1"
+//	config  summary geometry, LSH params, table params
+//	pca     input dim, output dim, mean, basis rows
+//	entries count, then per entry: id, bit count, bits
+const persistMagic = "FASTIDX1"
+
+var errBadSnapshot = errors.New("core: corrupt or incompatible index snapshot")
+
+// WriteTo serializes the engine's index. It implements io.WriterTo.
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.pcasift == nil {
+		return 0, errors.New("core: cannot persist an unbuilt engine")
+	}
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+
+	write := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if _, err := cw.Write([]byte(persistMagic)); err != nil {
+		return cw.n, err
+	}
+	cfg := e.cfg
+	if err := write(
+		uint32(cfg.Summary.Bits), int32(cfg.Summary.K), int32(cfg.Summary.SubVector), cfg.Summary.Granularity,
+		int32(cfg.LSH.Bands), int32(cfg.LSH.Rows), cfg.LSH.Seed,
+		int64(cfg.TableCapacity), int32(cfg.Neighborhood), cfg.MinScore, int32(cfg.GroupExpand),
+	); err != nil {
+		return cw.n, err
+	}
+
+	// PCA basis.
+	mean, basis := e.pcasift.Basis()
+	if err := write(int32(len(mean)), int32(basis.Rows)); err != nil {
+		return cw.n, err
+	}
+	if err := write(mean); err != nil {
+		return cw.n, err
+	}
+	if err := write(basis.Data); err != nil {
+		return cw.n, err
+	}
+
+	// Entries. Deletion tombstones (nil summaries) are skipped, which also
+	// compacts the snapshot.
+	live := int64(0)
+	for _, ent := range e.entries {
+		if ent.summary != nil {
+			live++
+		}
+	}
+	if err := write(live); err != nil {
+		return cw.n, err
+	}
+	for _, ent := range e.entries {
+		if ent.summary == nil {
+			continue
+		}
+		if err := write(ent.id, uint32(ent.summary.M), int32(ent.summary.K), int32(len(ent.summary.Bits))); err != nil {
+			return cw.n, err
+		}
+		if err := write(ent.summary.Bits); err != nil {
+			return cw.n, err
+		}
+	}
+	if bw, ok := cw.w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadEngine deserializes an index snapshot, rebuilding the LSH tables and
+// flat cuckoo storage.
+func ReadEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadSnapshot, err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", errBadSnapshot, magic)
+	}
+
+	var cfg Config
+	var bits uint32
+	var k, sub int32
+	var gran float64
+	var bands, rows int32
+	var lshSeed int64
+	var tableCap int64
+	var nu int32
+	var minScore float64
+	var groupExpand int32
+	if err := read(&bits, &k, &sub, &gran, &bands, &rows, &lshSeed, &tableCap, &nu, &minScore, &groupExpand); err != nil {
+		return nil, fmt.Errorf("%w: config: %v", errBadSnapshot, err)
+	}
+	cfg.Summary = bloom.SummaryConfig{Bits: bits, K: int(k), SubVector: int(sub), Granularity: gran}
+	cfg.LSH = lsh.MinHashParams{Bands: int(bands), Rows: int(rows), Seed: lshSeed}
+	cfg.TableCapacity = int(tableCap)
+	cfg.Neighborhood = int(nu)
+	cfg.MinScore = minScore
+	cfg.GroupExpand = int(groupExpand)
+
+	// PCA basis.
+	var inDim, outDim int32
+	if err := read(&inDim, &outDim); err != nil {
+		return nil, fmt.Errorf("%w: pca header: %v", errBadSnapshot, err)
+	}
+	if inDim <= 0 || outDim <= 0 || inDim > 1<<20 || outDim > inDim {
+		return nil, fmt.Errorf("%w: pca dims %d/%d", errBadSnapshot, inDim, outDim)
+	}
+	mean := make(linalg.Vector, inDim)
+	basis := linalg.NewMatrix(int(outDim), int(inDim))
+	if err := read(mean); err != nil {
+		return nil, fmt.Errorf("%w: pca mean: %v", errBadSnapshot, err)
+	}
+	if err := read(basis.Data); err != nil {
+		return nil, fmt.Errorf("%w: pca basis: %v", errBadSnapshot, err)
+	}
+	pca, err := feature.RestorePCASIFT(mean, basis)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadSnapshot, err)
+	}
+
+	var count int64
+	if err := read(&count); err != nil {
+		return nil, fmt.Errorf("%w: entry count: %v", errBadSnapshot, err)
+	}
+	if count < 0 || count > 1<<40 {
+		return nil, fmt.Errorf("%w: entry count %d", errBadSnapshot, count)
+	}
+
+	e := NewEngine(cfg)
+	e.pcasift = pca
+	capacity := e.cfg.TableCapacity
+	if capacity == 0 {
+		capacity = 2 * int(count)
+		if capacity < 1024 {
+			capacity = 1024
+		}
+	}
+	e.index, err = lsh.NewMinHash(e.cfg.LSH)
+	if err != nil {
+		return nil, err
+	}
+	e.table, err = cuckoo.NewFlat(capacity, e.cfg.Neighborhood, 0, 12345)
+	if err != nil {
+		return nil, err
+	}
+
+	for i := int64(0); i < count; i++ {
+		var id uint64
+		var m uint32
+		var sk, nbits int32
+		if err := read(&id, &m, &sk, &nbits); err != nil {
+			return nil, fmt.Errorf("%w: entry %d header: %v", errBadSnapshot, i, err)
+		}
+		if nbits < 0 || uint32(nbits) > m {
+			return nil, fmt.Errorf("%w: entry %d has %d bits of %d", errBadSnapshot, i, nbits, m)
+		}
+		sp := &bloom.Sparse{M: m, K: int(sk), Bits: make([]uint32, nbits)}
+		if err := read(sp.Bits); err != nil {
+			return nil, fmt.Errorf("%w: entry %d bits: %v", errBadSnapshot, i, err)
+		}
+		slot := len(e.entries)
+		e.entries = append(e.entries, entry{id: id, summary: sp})
+		if len(sp.Bits) > 0 {
+			if err := e.index.Insert(lsh.ItemID(id), sp.Bits); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.table.Insert(id, uint64(slot)); err != nil {
+			return nil, fmt.Errorf("core: restoring entry %d: %w", i, err)
+		}
+		e.byID[id] = slot
+	}
+	return e, nil
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+var _ io.WriterTo = (*Engine)(nil)

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndStats hammers the engine with parallel queries,
+// SimCost reads and stats accesses; run with -race to validate the locking
+// discipline.
+func TestConcurrentQueriesAndStats(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	qs, err := ds.Queries(4, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch w % 3 {
+				case 0:
+					if _, err := e.QueryParallel(qs[i%len(qs)].Probe, 30, 2); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					_ = e.SimCost()
+					_ = e.TableStats()
+					_ = e.LSHStats()
+					_ = e.Len()
+					_ = e.IndexBytes()
+				case 2:
+					if _, err := e.Query(qs[(i+1)%len(qs)].Probe, 10); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent access error: %v", err)
+	}
+}

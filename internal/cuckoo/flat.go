@@ -1,0 +1,276 @@
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Flat is FAST's flat-structured cuckoo table with adjacent neighboring
+// storage: a key may live in either of its two home cells or in any of the
+// Neighborhood cells that follow a home (wrapping around the table). Lookups
+// probe 2*(Neighborhood+1) cells — a constant — and the probes are
+// independent, which is what exposes the query parallelism Figure 7
+// exploits on multicore machines.
+type Flat struct {
+	cells    []KeyValue
+	stash    []KeyValue // overflow for items whose kick chain exhausted
+	mask     uint64
+	n        int
+	nu       int // neighborhood width ν
+	maxKicks int
+	rng      *rand.Rand
+	stats    Stats
+	mu       sync.RWMutex
+}
+
+// DefaultNeighborhood is the ν used by the FAST prototype experiments.
+const DefaultNeighborhood = 4
+
+// NewFlat creates a flat-structured table with at least capacity cells.
+// neighborhood < 0 is invalid; 0 degenerates to standard two-home cuckoo
+// (useful for ablations). maxKicks 0 selects DefaultMaxKicks.
+func NewFlat(capacity, neighborhood, maxKicks int, seed int64) (*Flat, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cuckoo: capacity must be positive, got %d", capacity)
+	}
+	if neighborhood < 0 {
+		return nil, fmt.Errorf("cuckoo: neighborhood must be >= 0, got %d", neighborhood)
+	}
+	if maxKicks == 0 {
+		maxKicks = DefaultMaxKicks
+	}
+	size := nextPow2(capacity)
+	if neighborhood >= size {
+		return nil, fmt.Errorf("cuckoo: neighborhood %d >= table size %d", neighborhood, size)
+	}
+	return &Flat{
+		cells:    make([]KeyValue, size),
+		mask:     uint64(size - 1),
+		nu:       neighborhood,
+		maxKicks: maxKicks,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Neighborhood returns ν.
+func (t *Flat) Neighborhood() int { return t.nu }
+
+// Len returns the number of stored entries.
+func (t *Flat) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// Cap returns the number of cells.
+func (t *Flat) Cap() int { return len(t.cells) }
+
+// Stats returns cumulative statistics.
+func (t *Flat) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats
+}
+
+// LoadFactor returns n / capacity.
+func (t *Flat) LoadFactor() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return float64(t.n) / float64(len(t.cells))
+}
+
+// ProbeWidth returns the constant number of cells a lookup examines.
+func (t *Flat) ProbeWidth() int { return 2 * (t.nu + 1) }
+
+// probeCells yields the candidate cell indices for key: each home followed
+// by its ν neighbors.
+func (t *Flat) probeCells(key uint64) []uint64 {
+	b1, b2 := hashPair(key, t.mask)
+	cells := make([]uint64, 0, t.ProbeWidth())
+	for d := 0; d <= t.nu; d++ {
+		cells = append(cells, (b1+uint64(d))&t.mask)
+	}
+	for d := 0; d <= t.nu; d++ {
+		cells = append(cells, (b2+uint64(d))&t.mask)
+	}
+	return cells
+}
+
+// Lookup probes the constant-width candidate set. It takes the write lock
+// because it updates the probe statistics; for contention-free concurrent
+// reads use LookupBatch, which skips the counters.
+func (t *Flat) Lookup(key uint64) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lookupLocked(key)
+}
+
+func (t *Flat) lookupLocked(key uint64) (uint64, bool) {
+	t.stats.Lookups++
+	for _, c := range t.probeCells(key) {
+		t.stats.Probes++
+		if t.cells[c].Key == key {
+			return t.cells[c].Value, true
+		}
+	}
+	for i := range t.stash {
+		t.stats.Probes++
+		if t.stash[i].Key == key {
+			return t.stash[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores (key, value). The placement strategy is:
+//  1. replace an existing entry for key;
+//  2. use any empty cell in the candidate set (counted as a NeighborHit
+//     when it is not one of the two homes);
+//  3. otherwise evict a pseudo-random candidate and re-place it
+//     recursively, up to maxKicks displacements.
+func (t *Flat) Insert(key, value uint64) error {
+	if key == 0 {
+		return errors.New("cuckoo: key 0 is reserved")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	cur := KeyValue{Key: key, Value: value}
+	chain := 0
+	for i := 0; i <= t.maxKicks; i++ {
+		cells := t.probeCells(cur.Key)
+		if chain == 0 {
+			// Replace in place. (A displaced victim's key is never present
+			// in the table — it is in hand — so this only applies before
+			// the first eviction.)
+			for _, c := range cells {
+				if t.cells[c].Key == cur.Key {
+					t.cells[c].Value = cur.Value
+					return nil
+				}
+			}
+			for i := range t.stash {
+				if t.stash[i].Key == cur.Key {
+					t.stash[i].Value = cur.Value
+					return nil
+				}
+			}
+		}
+		// Empty cell anywhere in the flat neighborhood.
+		for ci, c := range cells {
+			if t.cells[c].Key == 0 {
+				t.cells[c] = cur
+				t.n++
+				t.stats.Inserts++
+				if ci != 0 && ci != t.nu+1 {
+					t.stats.NeighborHits++
+				}
+				if chain > t.stats.MaxChain {
+					t.stats.MaxChain = chain
+				}
+				return nil
+			}
+		}
+		if i == t.maxKicks {
+			break
+		}
+		// Evict a pseudo-random candidate and continue with the victim.
+		victim := cells[t.rng.Intn(len(cells))]
+		cur, t.cells[victim] = t.cells[victim], cur
+		chain++
+		t.stats.Kicks++
+	}
+	// Park the unplaced item in the stash: the insertion completes, but the
+	// rehash event is still reported (and counted in Stats.Failures).
+	t.stash = append(t.stash, cur)
+	t.n++
+	t.stats.Inserts++
+	t.stats.Failures++
+	return fmt.Errorf("%w: key %d after %d kicks", ErrTableFull, cur.Key, t.maxKicks)
+}
+
+// Delete removes key if present.
+func (t *Flat) Delete(key uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.probeCells(key) {
+		if t.cells[c].Key == key {
+			t.cells[c] = KeyValue{}
+			t.n--
+			return true
+		}
+	}
+	for i := range t.stash {
+		if t.stash[i].Key == key {
+			t.stash[i] = t.stash[len(t.stash)-1]
+			t.stash = t.stash[:len(t.stash)-1]
+			t.n--
+			return true
+		}
+	}
+	return false
+}
+
+// LookupBatch resolves many keys concurrently using up to workers
+// goroutines (0 means GOMAXPROCS). Results are positionally aligned with
+// keys; missing keys yield (0, false). This is the multicore parallel-query
+// path of Figure 7: because every lookup touches a constant, independent
+// set of cells, throughput scales nearly linearly with cores.
+func (t *Flat) LookupBatch(keys []uint64, workers int) []LookupResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	results := make([]LookupResult, len(keys))
+	if len(keys) == 0 {
+		return results
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var wg sync.WaitGroup
+	chunk := (len(keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				// Probe without touching shared stats (read-only scan).
+				for _, c := range t.probeCells(keys[i]) {
+					if t.cells[c].Key == keys[i] {
+						results[i] = LookupResult{Value: t.cells[c].Value, Found: true}
+						break
+					}
+				}
+				if !results[i].Found {
+					for s := range t.stash {
+						if t.stash[s].Key == keys[i] {
+							results[i] = LookupResult{Value: t.stash[s].Value, Found: true}
+							break
+						}
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+// LookupResult is one entry of a batched lookup.
+type LookupResult struct {
+	Value uint64
+	Found bool
+}

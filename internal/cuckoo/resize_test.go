@@ -1,0 +1,122 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRangeVisitsAllEntries(t *testing.T) {
+	flat, _ := NewFlat(256, 2, 0, 1)
+	want := map[uint64]uint64{}
+	for k := uint64(1); k <= 100; k++ {
+		want[k] = k * 3
+		if err := flat.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[uint64]uint64{}
+	flat.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	count := 0
+	flat.Range(func(uint64, uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early-terminated Range visited %d", count)
+	}
+}
+
+func TestStandardRange(t *testing.T) {
+	std, _ := NewStandard(256, 0, 1)
+	for k := uint64(1); k <= 50; k++ {
+		if err := std.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	std.Range(func(k, v uint64) bool {
+		if k != v {
+			t.Fatalf("Range pair (%d,%d)", k, v)
+		}
+		n++
+		return true
+	})
+	if n != 50 {
+		t.Errorf("visited %d entries, want 50", n)
+	}
+}
+
+func TestResizableGrowsPastCapacity(t *testing.T) {
+	// Insert far more items than the initial capacity; the table must grow
+	// transparently and retain everything.
+	r, err := NewResizable(64, DefaultNeighborhood, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() | 1
+		if err := r.Insert(keys[i], uint64(i)); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d", r.Len(), n)
+	}
+	if r.Cap() < n {
+		t.Fatalf("Cap = %d did not grow past %d", r.Cap(), n)
+	}
+	if r.Rehashes() == 0 {
+		t.Error("no rehashes recorded despite 15x overflow")
+	}
+	for i, k := range keys {
+		v, ok := r.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost after growth: (%d, %v)", k, v, ok)
+		}
+	}
+}
+
+func TestResizableDeleteAndBatch(t *testing.T) {
+	r, _ := NewResizable(128, DefaultNeighborhood, 0, 3)
+	for k := uint64(1); k <= 60; k++ {
+		if err := r.Insert(k, k+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Delete(30) || r.Delete(30) {
+		t.Error("delete semantics broken")
+	}
+	keys := []uint64{1, 30, 60}
+	res := r.LookupBatch(keys, 2)
+	if !res[0].Found || res[1].Found || !res[2].Found {
+		t.Errorf("batch results wrong: %+v", res)
+	}
+	if r.Stats().Inserts == 0 {
+		t.Error("stats not exposed")
+	}
+}
+
+func TestResizableRejectsKeyZero(t *testing.T) {
+	r, _ := NewResizable(64, 2, 0, 1)
+	if err := r.Insert(0, 1); err == nil {
+		t.Error("key 0 must be rejected without growing")
+	}
+	if r.Rehashes() != 0 {
+		t.Error("invalid key triggered a rehash")
+	}
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/fastrepro/fast/internal/chunk"
+	"github.com/fastrepro/fast/internal/cluster"
+	"github.com/fastrepro/fast/internal/cuckoo"
+	"github.com/fastrepro/fast/internal/dedup"
+	"github.com/fastrepro/fast/internal/energy"
+	"github.com/fastrepro/fast/internal/simimg"
+	"github.com/fastrepro/fast/internal/store"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+// RunFig6 regenerates Figure 6: insertion-failure (rehash) probability of
+// FAST's flat-structured cuckoo table versus standard cuckoo hashing, as a
+// function of the number of items inserted. The experiment inserts random
+// keys into fixed-capacity tables and reports the cumulative failure
+// probability in item-count buckets; many independent trials make the rare
+// flat-table failures measurable.
+func RunFig6(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Figure 6: insertion failure (rehash) probability")
+	const (
+		capacity = 1 << 16
+		trials   = 40
+	)
+	// Single-slot two-choice cuckoo hashing has a load threshold of 0.5:
+	// below it failures are rare events (the paper's 1e-3/1e-6 regime),
+	// above it insertion collapses. Matching the paper means measuring both
+	// tables in the rare-failure regime, so we fill to 52%% of capacity.
+	target := capacity * 52 / 100
+	buckets := 8
+	bucketSize := target / buckets
+
+	type variant struct {
+		name string
+		mk   func(seed int64) cuckoo.Table
+	}
+	variants := []variant{
+		{"standard cuckoo", func(seed int64) cuckoo.Table {
+			t, _ := cuckoo.NewStandard(capacity, 0, seed)
+			return t
+		}},
+		{"FAST flat (ν=4)", func(seed int64) cuckoo.Table {
+			t, _ := cuckoo.NewFlat(capacity, cuckoo.DefaultNeighborhood, 0, seed)
+			return t
+		}},
+	}
+
+	fmt.Fprintf(w, "capacity %d cells, %d trials, inserting to %.0f%% load\n\n", capacity, trials, 100*float64(target)/capacity)
+	fmt.Fprintf(w, "%-18s |", "items inserted")
+	for b := 1; b <= buckets; b++ {
+		fmt.Fprintf(w, " %9d", b*bucketSize)
+	}
+	fmt.Fprintf(w, "\n")
+
+	overall := map[string]float64{}
+	for _, v := range variants {
+		fails := make([]int, buckets)
+		attempts := make([]int, buckets)
+		for trial := 0; trial < trials; trial++ {
+			tb := v.mk(e.Opts().Seed + int64(trial))
+			rng := rand.New(rand.NewSource(e.Opts().Seed + 1000 + int64(trial)))
+			for i := 0; i < target; i++ {
+				b := i / bucketSize
+				if b >= buckets {
+					b = buckets - 1
+				}
+				attempts[b]++
+				if err := tb.Insert(rng.Uint64()|1, 1); err != nil {
+					fails[b]++
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-18s |", v.name)
+		var totalF, totalA int
+		for b := 0; b < buckets; b++ {
+			p := float64(fails[b]) / float64(attempts[b])
+			totalF += fails[b]
+			totalA += attempts[b]
+			fmt.Fprintf(w, " %9.2e", p)
+		}
+		overall[v.name] = float64(totalF) / float64(totalA)
+		fmt.Fprintf(w, "\n")
+	}
+	ratio := 0.0
+	if overall["FAST flat (ν=4)"] > 0 {
+		ratio = overall["standard cuckoo"] / overall["FAST flat (ν=4)"]
+	}
+	attemptsTotal := trials * target
+	fmt.Fprintf(w, "\noverall: standard %.2e vs flat %.2e", overall["standard cuckoo"], overall["FAST flat (ν=4)"])
+	if ratio > 0 {
+		fmt.Fprintf(w, " (%.0fx lower)", ratio)
+	} else {
+		fmt.Fprintf(w, " (no flat failures in %d inserts; probability < %.1e)", attemptsTotal, 1/float64(attemptsTotal))
+	}
+	fmt.Fprintf(w, "\npaper: 3.6e-3 vs 1.61e-6 (Wuhan), 4.8e-3 vs 1.77e-6 (Shanghai) — ~3 orders of magnitude\n")
+	return nil
+}
+
+// fig7Cores is the core-count sweep of Figure 7.
+var fig7Cores = []int{1, 2, 4, 8, 16, 32}
+
+// RunFig7 regenerates Figure 7: query latency on a multicore node as a
+// function of the number of cores used. Two measurements are reported:
+//
+//   - the real wall-clock latency of a large batch of flat-table lookups
+//     with the given worker count (the data structure the paper credits for
+//     the parallelism), and
+//   - the simulated per-query latency on a cluster node with that many
+//     cores serving a fixed request batch (the figure's setting).
+func RunFig7(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Figure 7: multicore-enabled parallel queries")
+	fmt.Fprintf(w, "host has %d hardware thread(s): the real batch-lookup column can speed up\n", runtime.NumCPU())
+	fmt.Fprintf(w, "at most that much; the simulated column models one 32-core node of the\n")
+	fmt.Fprintf(w, "paper's testbed, where the flat probes' independence yields the linear trend.\n\n")
+
+	// Real measurement: batched flat-cuckoo probing.
+	const tableCap = 1 << 20
+	flat, err := cuckoo.NewFlat(tableCap, cuckoo.DefaultNeighborhood, 0, e.Opts().Seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(e.Opts().Seed))
+	keys := make([]uint64, tableCap/2)
+	for i := range keys {
+		keys[i] = rng.Uint64() | 1
+		if err := flat.Insert(keys[i], uint64(i)); err != nil {
+			return err
+		}
+	}
+	// Shuffle in misses.
+	probeKeys := make([]uint64, len(keys))
+	for i := range probeKeys {
+		if i%4 == 0 {
+			probeKeys[i] = rng.Uint64() | 1
+		} else {
+			probeKeys[i] = keys[rng.Intn(len(keys))]
+		}
+	}
+
+	fmt.Fprintf(w, "%-8s | %16s %10s | %16s %10s\n", "cores", "batch lookups", "speedup", "simulated query", "speedup")
+	var base, simBase time.Duration
+	for _, cores := range fig7Cores {
+		// Best of several repetitions suppresses scheduler noise.
+		elapsed := time.Duration(1 << 62)
+		for rep := 0; rep < 5; rep++ {
+			t0 := time.Now()
+			flat.LookupBatch(probeKeys, cores)
+			if d := time.Since(t0); d < elapsed {
+				elapsed = d
+			}
+		}
+
+		// Simulated per-query latency with a fixed service time spread over
+		// a single node's cores.
+		node, err := cluster.New(cluster.Config{Nodes: 1, CoresPerNode: cores})
+		if err != nil {
+			return err
+		}
+		reqs := make([]uint64, 512)
+		for i := range reqs {
+			reqs[i] = uint64(i)
+		}
+		st := node.RunWorkload(reqs, func(uint64) time.Duration { return 10 * time.Millisecond })
+
+		if cores == 1 {
+			base = elapsed
+			simBase = st.Mean
+		}
+		fmt.Fprintf(w, "%-8d | %16s %9.1fx | %16s %9.1fx\n",
+			cores, fmtDur(elapsed), float64(base)/float64(elapsed),
+			fmtDur(st.Mean), float64(simBase)/float64(st.Mean))
+	}
+	fmt.Fprintf(w, "\nshape check: simulated latency decreases almost linearly with cores\n")
+	fmt.Fprintf(w, "(paper Fig. 7); real-thread scaling follows on machines with that many cores\n")
+	return nil
+}
+
+// RunFig8a regenerates Figure 8a: network transmission overhead of FAST's
+// near-duplicate-aware uploads versus chunk-based transmission, across
+// three user groups and growing image batches.
+func RunFig8a(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Figure 8a: network transmission overhead (bandwidth consumed, MB)")
+	res, err := runSmartphone(e)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-22s |", "images")
+	for _, n := range fig8Batches {
+		fmt.Fprintf(w, " %9d", n)
+	}
+	fmt.Fprintf(w, "\n")
+	for _, g := range res {
+		fmt.Fprintf(w, "%-22s |", g.name+" chunk")
+		for _, pt := range g.points {
+			fmt.Fprintf(w, " %8.1fM", float64(pt.chunkBytes)/1e6)
+		}
+		fmt.Fprintf(w, "\n%-22s |", g.name+" FAST")
+		for _, pt := range g.points {
+			fmt.Fprintf(w, " %8.1fM", float64(pt.fastBytes)/1e6)
+		}
+		last := g.points[len(g.points)-1]
+		fmt.Fprintf(w, "   (saving %.1f%%)\n", 100*(1-float64(last.fastBytes)/float64(last.chunkBytes)))
+	}
+	fmt.Fprintf(w, "\npaper: FAST achieves >55.2%% bandwidth savings, growing with batch size\n")
+	return nil
+}
+
+// RunFig8b regenerates Figure 8b: smartphone energy consumption for the
+// same upload batches, via the Monsoon-style energy model.
+func RunFig8b(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Figure 8b: smartphone energy consumption (joules)")
+	res, err := runSmartphone(e)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-22s |", "images")
+	for _, n := range fig8Batches {
+		fmt.Fprintf(w, " %9d", n)
+	}
+	fmt.Fprintf(w, "\n")
+	for _, g := range res {
+		fmt.Fprintf(w, "%-22s |", g.name+" chunk")
+		for _, pt := range g.points {
+			fmt.Fprintf(w, " %8.0fJ", pt.chunkJoules)
+		}
+		fmt.Fprintf(w, "\n%-22s |", g.name+" FAST")
+		for _, pt := range g.points {
+			fmt.Fprintf(w, " %8.0fJ", pt.fastJoules)
+		}
+		last := g.points[len(g.points)-1]
+		sav, _ := energy.Savings(last.chunkJoules, last.fastJoules)
+		fmt.Fprintf(w, "   (saving %.1f%%)\n", 100*sav)
+	}
+	fmt.Fprintf(w, "\npaper: 46.9%%-62.2%% energy savings across the three user groups\n")
+	return nil
+}
+
+// fig8Batches are the upload batch sizes (paper: 100-600).
+var fig8Batches = []int{100, 200, 300, 400, 500, 600}
+
+type fig8Point struct {
+	chunkBytes, fastBytes   int64
+	chunkJoules, fastJoules float64
+}
+
+type fig8Group struct {
+	name   string
+	points []fig8Point
+}
+
+var fig8Cache []fig8Group
+
+// payloadScale is the factor by which on-the-wire payloads are reduced for
+// experiment speed; energy and reported bandwidth are charged at unscaled
+// size so the radio-vs-tail ratio matches real 1MB-class photos.
+const payloadScale = 1000
+
+// runSmartphone simulates the three crowdsourcing user groups uploading
+// photo batches. The chunk-based baseline deduplicates byte-identical
+// chunks; FAST's client additionally skips whole near-duplicate images via
+// the dedup detector, transmitting only the compact summary for skipped
+// images. Energy is charged by the model of the energy package.
+func runSmartphone(e *Env) ([]fig8Group, error) {
+	if fig8Cache != nil {
+		return fig8Cache, nil
+	}
+	w := e.Opts().Out
+	model := energy.DefaultWiFi()
+	wifi := store.WiFi()
+
+	var out []fig8Group
+	for g := 0; g < 3; g++ {
+		name := fmt.Sprintf("group%d", g+1)
+		fmt.Fprintf(w, "[env] simulating %s uploads (%d images)...\n", name, fig8Batches[len(fig8Batches)-1])
+		// Each group shoots its own disjoint set of landmarks; crowds
+		// re-photograph the same scenes constantly, so near-duplicates
+		// dominate. 8 scenes per group over up to 600 shots.
+		spec := workload.Spec{
+			Name:         name,
+			Scenes:       8,
+			Photos:       fig8Batches[len(fig8Batches)-1],
+			Resolution:   64,
+			MeanSeverity: 0.10,
+			Seed:         e.Opts().Seed + int64(g)*977,
+			SceneBase:    simimg.SceneID(5000 + g*100),
+		}
+		ds, err := workload.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+
+		detector := dedup.NewDetector(dedup.Config{})
+		chunkIndex := chunk.NewIndex()
+		chunkRec := energy.NewRecorder(model)
+		fastRec := energy.NewRecorder(model)
+		var chunkBytes, fastBytes int64
+		var points []fig8Point
+		next := 0
+		for _, p := range ds.Photos {
+			// Simulated on-the-wire image payload (content-addressable
+			// bytes derived from the raster so identical scenes produce
+			// overlapping chunks).
+			payload := imagePayload(p)
+
+			// Chunk-based baseline: CDC + fingerprint dedup, transmit new
+			// chunks only.
+			chunks, err := chunk.CDC(payload, chunk.CDCConfig{})
+			if err != nil {
+				return nil, err
+			}
+			r := chunkIndex.Add(chunks)
+			chunkBytes += r.NewBytes * payloadScale
+			chunkRec.RecordTransmission(r.NewBytes*payloadScale, wifi.Transfer(r.NewBytes*payloadScale))
+
+			// FAST client: near-duplicate detection first.
+			t0 := time.Now()
+			dec, err := detector.Check(p.Img)
+			if err != nil {
+				return nil, err
+			}
+			fastRec.RecordCompute(time.Since(t0))
+			if dec.Duplicate {
+				// Only a summary reference is uploaded.
+				const summaryBytes = 64
+				fastBytes += summaryBytes
+				fastRec.RecordTransmission(summaryBytes, wifi.Transfer(summaryBytes))
+			} else {
+				up := int64(len(payload)) * payloadScale
+				fastBytes += up
+				fastRec.RecordTransmission(up, wifi.Transfer(up))
+			}
+
+			if next < len(fig8Batches) && int(p.ID-ds.Photos[0].ID)+1 == fig8Batches[next] {
+				points = append(points, fig8Point{
+					chunkBytes:  chunkBytes,
+					fastBytes:   fastBytes,
+					chunkJoules: chunkRec.TotalJoules(),
+					fastJoules:  fastRec.TotalJoules(),
+				})
+				next++
+			}
+		}
+		for next < len(fig8Batches) {
+			points = append(points, fig8Point{chunkBytes, fastBytes, chunkRec.TotalJoules(), fastRec.TotalJoules()})
+			next++
+		}
+		out = append(out, fig8Group{name: name, points: points})
+	}
+	fig8Cache = out
+	return out, nil
+}
+
+// imagePayload derives a deterministic byte payload from the photo's raster
+// (a stand-in for its encoded file). Identical regions across retakes yield
+// identical bytes, which is what chunk-level dedup can exploit; the payload
+// size tracks the photo's simulated file size at a reduced scale.
+func imagePayload(p *simimg.Photo) []byte {
+	// 1 byte per pixel, repeated to ~SizeBytes/1000 (keeps the experiment
+	// fast while preserving relative sizes).
+	target := int(p.SizeBytes / 1000)
+	if target < len(p.Img.Pix) {
+		target = len(p.Img.Pix)
+	}
+	out := make([]byte, 0, target)
+	for len(out) < target {
+		for _, v := range p.Img.Pix {
+			out = append(out, byte(v*255))
+			if len(out) >= target {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/store"
+)
+
+// PaperCluster describes the testbed of Section IV-A.
+type PaperCluster struct {
+	Nodes int
+	Cores int
+}
+
+// DefaultPaperCluster is the 256-node, 32-core testbed.
+func DefaultPaperCluster() PaperCluster { return PaperCluster{Nodes: 256, Cores: 32} }
+
+// paperPhotos returns the unscaled corpus size for a dataset name.
+func paperPhotos(dataset string) int {
+	switch dataset {
+	case "Wuhan":
+		return 21_000_000
+	case "Shanghai":
+		return 39_000_000
+	default:
+		return 0
+	}
+}
+
+// perPhoto extracts average per-photo costs from a scaled build.
+type perPhoto struct {
+	FeatureCPU  time.Duration // real feature-extraction CPU
+	IndexCPU    time.Duration // real index-maintenance CPU
+	StorageTime time.Duration // modeled storage latency
+	ComputeTime time.Duration // modeled correlation-identification CPU
+	IndexBytes  float64       // index footprint per photo
+}
+
+func perPhotoCosts(bp *builtPipeline) perPhoto {
+	n := bp.build.Photos
+	if n == 0 {
+		return perPhoto{}
+	}
+	div := time.Duration(n)
+	return perPhoto{
+		FeatureCPU:  bp.build.FeatureTime / div,
+		IndexCPU:    (bp.build.IndexTime + bp.build.SummaryTime) / div,
+		StorageTime: bp.buildSim.StorageTime / div,
+		ComputeTime: bp.buildSim.ComputeTime / div,
+		IndexBytes:  float64(bp.p.IndexBytes()) / float64(n),
+	}
+}
+
+// projectBuild projects a scaled build to the paper's corpus and cluster:
+// CPU work parallelizes over nodes*cores and storage work over one disk per
+// node. The measured per-photo correlation-identification cost is carried
+// over as-is rather than re-scaled quadratically: the paper's own Figure 3
+// numbers (825s to index 21M photos with SIFT) imply its production
+// pipeline bounds the per-photo comparison work (e.g. by sharding and
+// by comparing within candidate partitions), so the per-photo cost is
+// treated as corpus-size-independent at cluster scale.
+//
+// It returns (featureRepresentation, indexStorage), Figure 3's two bars.
+func projectBuild(bp *builtPipeline, dataset string, cluster PaperCluster) (time.Duration, time.Duration) {
+	pp := perPhotoCosts(bp)
+	paperN := float64(paperPhotos(dataset))
+	cpuLanes := float64(cluster.Nodes * cluster.Cores)
+	diskLanes := float64(cluster.Nodes)
+
+	feature := time.Duration(float64(pp.FeatureCPU) * paperN / cpuLanes)
+	correlation := float64(pp.ComputeTime) * paperN / cpuLanes
+	storage := float64(pp.StorageTime)*paperN/diskLanes + float64(pp.IndexCPU)*paperN/cpuLanes
+	return feature, time.Duration(storage + correlation)
+}
+
+// queryCost is the per-query service model at paper scale for one scheme.
+type queryCost struct {
+	Service time.Duration // service time on a node
+	// Serialized marks schemes whose per-node work is effectively
+	// single-threaded (RNPE's MNPG grouping pass), so concurrent requests
+	// queue instead of spreading over cores.
+	Serialized bool
+}
+
+// projectQuery derives the paper-scale per-query service time for a scheme
+// from measured scaled costs.
+//
+//   - SIFT / PCA-SIFT: each node scans its feature shard from the SQL
+//     database (sequential transfer of shardBytes) and brute-force matches
+//     (measured real match CPU per stored photo, scaled to the shard).
+//   - RNPE: O(log shard) index-page reads plus an MNPG grouping pass over
+//     the proximity group; the grouping is serialized per node.
+//   - FAST: the measured real query latency — flat addressing makes it
+//     independent of corpus size (candidate group size is bounded by the
+//     correlated group, not the corpus).
+func projectQuery(scheme string, measured measuredQuery, dataset string, cluster PaperCluster) queryCost {
+	paperN := float64(paperPhotos(dataset))
+	shardN := paperN / float64(cluster.Nodes)
+	disk := store.HDD7200()
+
+	switch scheme {
+	case "SIFT", "PCA-SIFT":
+		shardBytes := int64(measured.perPhotoBytes * shardN)
+		scan := disk.SequentialRead(shardBytes)
+		match := time.Duration(float64(measured.matchPerPhoto) * shardN)
+		return queryCost{Service: scan + match}
+	case "RNPE":
+		pages := 1
+		for n := shardN; n > 256; n /= 256 {
+			pages++
+		}
+		idx := time.Duration(pages) * disk.RandomRead(8192)
+		group := time.Duration(float64(measured.matchPerPhoto) * measured.groupFrac * shardN)
+		return queryCost{Service: idx + group, Serialized: true}
+	case "FAST":
+		return queryCost{Service: measured.realQuery}
+	default:
+		return queryCost{}
+	}
+}
+
+// measuredQuery carries the scaled-run measurements projectQuery consumes.
+type measuredQuery struct {
+	perPhotoBytes float64       // index bytes per stored photo
+	matchPerPhoto time.Duration // real per-stored-photo match (or group) CPU
+	groupFrac     float64       // fraction of the shard touched by grouping
+	realQuery     time.Duration // real end-to-end query latency (FAST)
+}
+
+// simCostDelta subtracts two SimCost snapshots.
+func simCostDelta(after, before core.SimCost) core.SimCost {
+	return core.SimCost{
+		StorageTime: after.StorageTime - before.StorageTime,
+		ComputeTime: after.ComputeTime - before.ComputeTime,
+		Accesses:    after.Accesses - before.Accesses,
+		BytesMoved:  after.BytesMoved - before.BytesMoved,
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/fastrepro/fast/internal/bloom"
+	"github.com/fastrepro/fast/internal/cuckoo"
+	"github.com/fastrepro/fast/internal/kdtree"
+	"github.com/fastrepro/fast/internal/lsh"
+	"github.com/fastrepro/fast/internal/lsi"
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/vectorize"
+)
+
+// RunTable1 makes Table I executable. The paper's Table I maps the FAST
+// methodology onto existing searchable storage systems on paper; this
+// experiment runs the three addressing/aggregation designs on one
+// vectorized file-metadata corpus (the Spyglass/SmartStore setting):
+//
+//   - FAST: Bloom summaries → MinHash LSH groups → flat cuckoo addressing
+//     (O(1) probes);
+//   - Spyglass-style: a K-D tree over the raw attribute vectors,
+//     hierarchical addressing via kNN descent (O(log n) for low
+//     dimensions);
+//   - SmartStore-style: Latent Semantic Indexing, correlation queries as
+//     cosine scans in concept space (O(n) per query, strong aggregation).
+//
+// Reported per scheme: correlation-query recall against ground-truth
+// project clusters, mean query latency, and the per-query structure
+// touches.
+func RunTable1(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Table I (executable): methodology vs Spyglass/SmartStore designs")
+
+	// Vectorized file-record corpus: projects are the correlated groups.
+	const (
+		nFiles    = 3000
+		nProjects = 20
+	)
+	schema, err := vectorize.NewSchema([]vectorize.Field{
+		{Name: "size", Kind: vectorize.LogNumeric, Weight: 0.5},
+		{Name: "depth", Kind: vectorize.Numeric, Weight: 0.5},
+		{Name: "owner", Kind: vectorize.Categorical, Dims: 8, Weight: 2},
+		{Name: "ext", Kind: vectorize.Categorical, Dims: 6, Weight: 1.5},
+		{Name: "path", Kind: vectorize.Text, Dims: 12, Weight: 1},
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(e.Opts().Seed + 71))
+	owners := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	exts := []string{"c", "go", "h", "md", "dat", "log", "csv"}
+	type fileRec struct {
+		id      uint64
+		project int
+		vec     []float64
+	}
+	records := make([]fileRec, nFiles)
+	for i := range records {
+		p := rng.Intn(nProjects)
+		rec := vectorize.Record{
+			"size":  float64(int64(1)<<uint(10+p%8)) * (0.5 + rng.Float64()),
+			"depth": float64(2 + p%5),
+			"owner": owners[p%len(owners)],
+			"ext":   exts[p%len(exts)],
+			"path":  fmt.Sprintf("projects proj%d src module%d", p, p%3),
+		}
+		v, err := schema.Vector(rec)
+		if err != nil {
+			return err
+		}
+		// Per-file jitter so records are not byte-identical.
+		for j := range v {
+			v[j] += rng.NormFloat64() * 0.05
+		}
+		records[i] = fileRec{id: uint64(i + 1), project: p, vec: v}
+	}
+	projectOf := make(map[uint64]int, nFiles)
+	relevant := make(map[int]map[uint64]bool)
+	for _, r := range records {
+		projectOf[r.id] = r.project
+		if relevant[r.project] == nil {
+			relevant[r.project] = make(map[uint64]bool)
+		}
+		relevant[r.project][r.id] = true
+	}
+
+	// --- FAST stack ---
+	sumCfg := bloom.SummaryConfig{Bits: 2048, K: 4, SubVector: 4, Granularity: 1.0}
+	mh, err := lsh.NewMinHash(lsh.MinHashParams{Seed: e.Opts().Seed})
+	if err != nil {
+		return err
+	}
+	flat, err := cuckoo.NewFlat(2*nFiles, cuckoo.DefaultNeighborhood, 0, 3)
+	if err != nil {
+		return err
+	}
+	summaries := make(map[uint64]*bloom.Sparse, nFiles)
+	for i, r := range records {
+		f, err := bloom.Summarize([][]float64{r.vec}, sumCfg)
+		if err != nil {
+			return err
+		}
+		sp := bloom.ToSparse(f)
+		summaries[r.id] = sp
+		if len(sp.Bits) > 0 {
+			if err := mh.Insert(lsh.ItemID(r.id), sp.Bits); err != nil {
+				return err
+			}
+		}
+		if err := flat.Insert(r.id, uint64(i)); err != nil {
+			return err
+		}
+	}
+
+	// --- Spyglass-style K-D tree ---
+	pts := make([]kdtree.Point, nFiles)
+	for i, r := range records {
+		pts[i] = kdtree.Point{Vec: append([]float64(nil), r.vec...), ID: r.id}
+	}
+	kd, err := kdtree.Build(pts)
+	if err != nil {
+		return err
+	}
+
+	// --- SmartStore-style LSI ---
+	ids := make([]uint64, nFiles)
+	vecs := make([][]float64, nFiles)
+	for i, r := range records {
+		ids[i] = r.id
+		vecs[i] = r.vec
+	}
+	lsiIdx, err := lsi.Build(ids, vecs, 10)
+	if err != nil {
+		return err
+	}
+
+	// --- Drive identical correlation queries through all three ---
+	const trials = 60
+	groupSize := nFiles / nProjects
+	type row struct {
+		name    string
+		lat     *metrics.Latency
+		acc     *metrics.Accuracy
+		touches string
+	}
+	rows := []row{
+		{"FAST (LSH+cuckoo)", metrics.NewLatency(), &metrics.Accuracy{}, fmt.Sprintf("%d cells + bands", flat.ProbeWidth())},
+		{"Spyglass (K-D tree)", metrics.NewLatency(), &metrics.Accuracy{}, "O(log n) descent"},
+		{"SmartStore (LSI)", metrics.NewLatency(), &metrics.Accuracy{}, "O(n) concept scan"},
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := records[rng.Intn(nFiles)]
+		rel := relevant[q.project]
+
+		// FAST: LSH candidates + flat-table fetch + Jaccard verify.
+		t0 := time.Now()
+		var fastIDs []uint64
+		if sp := summaries[q.id]; len(sp.Bits) > 0 {
+			cands, err := mh.Query(sp.Bits)
+			if err != nil {
+				return err
+			}
+			keys := make([]uint64, len(cands))
+			for i, c := range cands {
+				keys[i] = uint64(c)
+			}
+			slots := flat.LookupBatch(keys, 1)
+			for i, slot := range slots {
+				if !slot.Found {
+					continue
+				}
+				sim, err := bloom.JaccardSparse(sp, summaries[keys[i]])
+				if err == nil && sim >= 0.2 {
+					fastIDs = append(fastIDs, keys[i])
+				}
+			}
+		}
+		rows[0].lat.Record(time.Since(t0))
+		rows[0].acc.Add(metrics.ScoreRetrieval(fastIDs, rel).Recall())
+
+		// Spyglass: kNN in the K-D tree.
+		t1 := time.Now()
+		nbs, err := kd.Nearest(q.vec, groupSize)
+		if err != nil {
+			return err
+		}
+		kdIDs := make([]uint64, len(nbs))
+		for i, nb := range nbs {
+			kdIDs[i] = nb.Point.ID
+		}
+		rows[1].lat.Record(time.Since(t1))
+		rows[1].acc.Add(metrics.ScoreRetrieval(kdIDs, rel).Recall())
+
+		// SmartStore: cosine scan in LSI concept space.
+		t2 := time.Now()
+		res, err := lsiIdx.Query(q.vec, groupSize)
+		if err != nil {
+			return err
+		}
+		lsiIDs := make([]uint64, len(res))
+		for i, r := range res {
+			lsiIDs[i] = r.ID
+		}
+		rows[2].lat.Record(time.Since(t2))
+		rows[2].acc.Add(metrics.ScoreRetrieval(lsiIDs, rel).Recall())
+	}
+
+	fmt.Fprintf(w, "corpus: %d vectorized file records, %d projects, %d queries\n\n", nFiles, nProjects, trials)
+	fmt.Fprintf(w, "%-22s | %8s %12s %s\n", "design", "recall", "query", "addressing cost")
+	for _, r := range rows {
+		s := r.lat.Summarize()
+		fmt.Fprintf(w, "%-22s | %8.3f %12s %s\n", r.name, r.acc.Mean(), fmtDur(s.Mean), r.touches)
+	}
+	fmt.Fprintf(w, "\nshape check: all three recover the correlated groups; FAST's flat addressing\n")
+	fmt.Fprintf(w, "answers in constant structure touches while the K-D tree descends O(log n)\n")
+	fmt.Fprintf(w, "and LSI scans the corpus — Table I's hierarchical-vs-flat contrast, executed.\n")
+	return nil
+}

@@ -1,0 +1,221 @@
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/fastrepro/fast/internal/linalg"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// SIFTDim is the dimensionality of the classic SIFT descriptor:
+// a 4x4 spatial grid of 8-bin orientation histograms.
+const SIFTDim = 4 * 4 * 8
+
+// GradPatchSize is the side length of the gradient patch sampled around a
+// keypoint for the PCA-SIFT raw descriptor. The raw dimensionality is
+// 2 * GradPatchSize^2 (dx and dy per sample), mirroring Ke & Sukthankar's
+// 41x41 patch at our reduced image resolution.
+const GradPatchSize = 12
+
+// GradPatchDim is the raw (pre-PCA) gradient-patch dimensionality.
+const GradPatchDim = 2 * GradPatchSize * GradPatchSize
+
+// SIFTDescriptor computes the 128-dimensional SIFT descriptor for kp: a 4x4
+// grid of 8-bin gradient-orientation histograms, rotated to the keypoint's
+// dominant orientation, normalized, clipped at 0.2 and renormalized (Lowe's
+// illumination-robustness steps).
+func SIFTDescriptor(im *simimg.Image, kp Keypoint) linalg.Vector {
+	const grid, bins = 4, 8
+	desc := linalg.NewVector(SIFTDim)
+	// Window of 16x16 samples (grid*4), rotated by -orientation.
+	cos, sin := math.Cos(-kp.Orientation), math.Sin(-kp.Orientation)
+	spacing := math.Max(kp.Sigma, 1.0)
+	half := float64(grid*4) / 2
+	for i := 0; i < grid*4; i++ {
+		for j := 0; j < grid*4; j++ {
+			// Offsets in descriptor frame, scaled by sigma.
+			u := (float64(j) - half + 0.5) * spacing / 2
+			v := (float64(i) - half + 0.5) * spacing / 2
+			// Rotate into image frame.
+			x := kp.X + cos*u - sin*v
+			y := kp.Y + sin*u + cos*v
+			gx := im.Bilinear(x+1, y) - im.Bilinear(x-1, y)
+			gy := im.Bilinear(x, y+1) - im.Bilinear(x, y-1)
+			mag := math.Sqrt(gx*gx + gy*gy)
+			if mag == 0 {
+				continue
+			}
+			ori := math.Atan2(gy, gx) - kp.Orientation
+			for ori <= -math.Pi {
+				ori += 2 * math.Pi
+			}
+			for ori > math.Pi {
+				ori -= 2 * math.Pi
+			}
+			w := math.Exp(-(u*u + v*v) / (2 * (half * spacing / 2) * (half * spacing / 2)))
+			cellR, cellC := i/4, j/4
+			bin := int((ori + math.Pi) / (2 * math.Pi) * bins)
+			if bin >= bins {
+				bin = bins - 1
+			}
+			desc[(cellR*grid+cellC)*bins+bin] += w * mag
+		}
+	}
+	normalizeClip(desc)
+	return desc
+}
+
+// GradPatchDescriptor samples a GradPatchSize x GradPatchSize grid of image
+// gradients (dx, dy) around the keypoint, rotated to its orientation and
+// scaled by its sigma, then l2-normalizes the result. This is the raw
+// PCA-SIFT input vector.
+func GradPatchDescriptor(im *simimg.Image, kp Keypoint) linalg.Vector {
+	desc := linalg.NewVector(GradPatchDim)
+	cos, sin := math.Cos(-kp.Orientation), math.Sin(-kp.Orientation)
+	spacing := math.Max(kp.Sigma, 1.0)
+	half := float64(GradPatchSize) / 2
+	idx := 0
+	for i := 0; i < GradPatchSize; i++ {
+		for j := 0; j < GradPatchSize; j++ {
+			u := (float64(j) - half + 0.5) * spacing / 2
+			v := (float64(i) - half + 0.5) * spacing / 2
+			x := kp.X + cos*u - sin*v
+			y := kp.Y + sin*u + cos*v
+			gx := im.Bilinear(x+1, y) - im.Bilinear(x-1, y)
+			gy := im.Bilinear(x, y+1) - im.Bilinear(x, y-1)
+			// Rotate the gradient into the keypoint frame for rotation
+			// invariance.
+			rgx := cos*gx + sin*gy
+			rgy := -sin*gx + cos*gy
+			desc[idx] = rgx
+			desc[idx+1] = rgy
+			idx += 2
+		}
+	}
+	desc.Normalize()
+	return desc
+}
+
+// normalizeClip applies Lowe's normalize -> clip(0.2) -> renormalize.
+func normalizeClip(v linalg.Vector) {
+	v.Normalize()
+	clipped := false
+	for i, x := range v {
+		if x > 0.2 {
+			v[i] = 0.2
+			clipped = true
+		}
+	}
+	if clipped {
+		v.Normalize()
+	}
+}
+
+// PCASIFT is a fitted PCA-SIFT descriptor extractor: gradient patches
+// projected onto OutDim principal components.
+type PCASIFT struct {
+	OutDim int
+	pca    *linalg.PCA
+}
+
+// DefaultPCADim is the paper-era standard PCA-SIFT output dimensionality.
+const DefaultPCADim = 20
+
+// TrainPCASIFT fits the PCA basis from the gradient patches of the supplied
+// training images. outDim 0 selects DefaultPCADim. It returns an error when
+// the training set yields fewer than two patches.
+func TrainPCASIFT(training []*simimg.Image, cfg DetectConfig, outDim int) (*PCASIFT, error) {
+	if outDim == 0 {
+		outDim = DefaultPCADim
+	}
+	var patches []linalg.Vector
+	for _, im := range training {
+		kps, err := DetectKeypoints(im, cfg)
+		if err != nil {
+			continue
+		}
+		for _, kp := range kps {
+			patches = append(patches, GradPatchDescriptor(im, kp))
+		}
+	}
+	if len(patches) < 2 {
+		return nil, errors.New("feature: not enough training patches for PCA-SIFT")
+	}
+	pca, err := linalg.FitPCA(patches, outDim)
+	if err != nil {
+		return nil, err
+	}
+	return &PCASIFT{OutDim: outDim, pca: pca}, nil
+}
+
+// Describe projects the gradient patch of kp onto the PCA basis.
+func (p *PCASIFT) Describe(im *simimg.Image, kp Keypoint) (linalg.Vector, error) {
+	raw := GradPatchDescriptor(im, kp)
+	return p.pca.Project(raw)
+}
+
+// DescribeAll extracts keypoints from im and returns their PCA-SIFT
+// descriptors together with the keypoints.
+func (p *PCASIFT) DescribeAll(im *simimg.Image, cfg DetectConfig) ([]Keypoint, []linalg.Vector, error) {
+	kps, err := DetectKeypoints(im, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	descs := make([]linalg.Vector, 0, len(kps))
+	for _, kp := range kps {
+		d, err := p.Describe(im, kp)
+		if err != nil {
+			return nil, nil, err
+		}
+		descs = append(descs, d)
+	}
+	return kps, descs, nil
+}
+
+// ExplainedVariance reports the fraction of training variance retained by
+// the PCA basis.
+func (p *PCASIFT) ExplainedVariance() float64 { return p.pca.TotalExplained() }
+
+// SIFTDescribeAll extracts keypoints and their full 128-d SIFT descriptors.
+func SIFTDescribeAll(im *simimg.Image, cfg DetectConfig) ([]Keypoint, []linalg.Vector, error) {
+	kps, err := DetectKeypoints(im, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	descs := make([]linalg.Vector, 0, len(kps))
+	for _, kp := range kps {
+		descs = append(descs, SIFTDescriptor(im, kp))
+	}
+	return kps, descs, nil
+}
+
+// Basis exposes the fitted projection (training mean and principal-axis
+// rows) for persistence.
+func (p *PCASIFT) Basis() (linalg.Vector, *linalg.Matrix) {
+	return p.pca.Mean, p.pca.Basis
+}
+
+// RestorePCASIFT rebuilds an extractor from a persisted basis. The
+// explained-variance diagnostics are not stored, so ExplainedVariance
+// reports zero on a restored extractor.
+func RestorePCASIFT(mean linalg.Vector, basis *linalg.Matrix) (*PCASIFT, error) {
+	if basis == nil || len(mean) == 0 {
+		return nil, errors.New("feature: empty PCA basis")
+	}
+	if basis.Cols != len(mean) {
+		return nil, fmt.Errorf("feature: basis width %d does not match mean length %d", basis.Cols, len(mean))
+	}
+	if basis.Rows < 1 || basis.Rows > basis.Cols {
+		return nil, fmt.Errorf("feature: basis has %d rows for %d columns", basis.Rows, basis.Cols)
+	}
+	pca := &linalg.PCA{
+		InputDim:  len(mean),
+		OutputDim: basis.Rows,
+		Mean:      mean,
+		Basis:     basis,
+		Explained: linalg.NewVector(basis.Rows),
+	}
+	return &PCASIFT{OutDim: basis.Rows, pca: pca}, nil
+}

@@ -1,0 +1,220 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/linalg"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+func testImage(sceneID simimg.SceneID) *simimg.Image {
+	return simimg.NewScene(sceneID).Render(64, 64)
+}
+
+func TestDetectKeypointsFindsPoints(t *testing.T) {
+	kps, err := DetectKeypoints(testImage(1), DetectConfig{})
+	if err != nil {
+		t.Fatalf("DetectKeypoints: %v", err)
+	}
+	if len(kps) == 0 {
+		t.Fatal("no keypoints detected on textured scene")
+	}
+	for i, kp := range kps {
+		if kp.X < 0 || kp.Y < 0 || kp.X >= 64 || kp.Y >= 64 {
+			t.Errorf("keypoint %d out of bounds: (%v,%v)", i, kp.X, kp.Y)
+		}
+		if kp.Response <= 0 {
+			t.Errorf("keypoint %d has non-positive response", i)
+		}
+		if kp.Orientation < -math.Pi-1e-9 || kp.Orientation > math.Pi+1e-9 {
+			t.Errorf("keypoint %d orientation %v out of range", i, kp.Orientation)
+		}
+		if i > 0 && kps[i].Response > kps[i-1].Response {
+			t.Error("keypoints not sorted by response")
+		}
+	}
+}
+
+func TestDetectKeypointsRespectsMax(t *testing.T) {
+	kps, err := DetectKeypoints(testImage(2), DetectConfig{MaxKeypoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) > 5 {
+		t.Errorf("got %d keypoints, max 5", len(kps))
+	}
+}
+
+func TestDetectKeypointsFlatImage(t *testing.T) {
+	flat := simimg.New(64, 64)
+	kps, err := DetectKeypoints(flat, DetectConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) != 0 {
+		t.Errorf("flat image produced %d keypoints", len(kps))
+	}
+}
+
+func TestDetectKeypointsTooSmall(t *testing.T) {
+	if _, err := DetectKeypoints(simimg.New(4, 4), DetectConfig{}); err == nil {
+		t.Error("tiny image should fail pyramid construction")
+	}
+}
+
+func TestSIFTDescriptorProperties(t *testing.T) {
+	im := testImage(3)
+	kps, err := DetectKeypoints(im, DetectConfig{MaxKeypoints: 10})
+	if err != nil || len(kps) == 0 {
+		t.Fatalf("detect: %v, %d keypoints", err, len(kps))
+	}
+	for _, kp := range kps {
+		d := SIFTDescriptor(im, kp)
+		if len(d) != SIFTDim {
+			t.Fatalf("descriptor dim %d, want %d", len(d), SIFTDim)
+		}
+		n := d.Norm()
+		if n != 0 && math.Abs(n-1) > 1e-9 {
+			t.Errorf("descriptor norm %v, want 1", n)
+		}
+		for i, x := range d {
+			if x < 0 {
+				t.Fatalf("descriptor[%d] = %v negative", i, x)
+			}
+		}
+	}
+}
+
+func TestGradPatchDescriptorNormalized(t *testing.T) {
+	im := testImage(4)
+	kps, err := DetectKeypoints(im, DetectConfig{MaxKeypoints: 5})
+	if err != nil || len(kps) == 0 {
+		t.Fatalf("detect: %v", err)
+	}
+	d := GradPatchDescriptor(im, kps[0])
+	if len(d) != GradPatchDim {
+		t.Fatalf("dim %d, want %d", len(d), GradPatchDim)
+	}
+	if math.Abs(d.Norm()-1) > 1e-9 {
+		t.Errorf("norm %v, want 1", d.Norm())
+	}
+}
+
+func TestDescriptorStableUnderMildPerturbation(t *testing.T) {
+	scene := simimg.NewScene(5)
+	base := scene.Render(64, 64)
+	rng := rand.New(rand.NewSource(5))
+	pert := simimg.Perturbation{Scale: 1, Contrast: 1.05, Brightness: 0.02, NoiseSigma: 0.005}
+	warped := pert.Apply(base, rng)
+
+	_, baseDescs, err := SIFTDescribeAll(base, DetectConfig{MaxKeypoints: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warpDescs, err := SIFTDescribeAll(warped, DetectConfig{MaxKeypoints: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := SimilarityScore(baseDescs, warpDescs, 0.9)
+	if score < 0.3 {
+		t.Errorf("same-scene similarity %v too low", score)
+	}
+
+	other := testImage(99)
+	_, otherDescs, err := SIFTDescribeAll(other, DetectConfig{MaxKeypoints: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := SimilarityScore(baseDescs, otherDescs, 0.9)
+	if cross >= score {
+		t.Errorf("cross-scene similarity %v >= same-scene %v", cross, score)
+	}
+}
+
+func TestTrainPCASIFTAndDescribe(t *testing.T) {
+	training := []*simimg.Image{testImage(10), testImage(11), testImage(12)}
+	p, err := TrainPCASIFT(training, DetectConfig{MaxKeypoints: 30}, 16)
+	if err != nil {
+		t.Fatalf("TrainPCASIFT: %v", err)
+	}
+	if p.OutDim != 16 {
+		t.Errorf("OutDim = %d, want 16", p.OutDim)
+	}
+	if ev := p.ExplainedVariance(); ev <= 0 || ev > 1+1e-9 {
+		t.Errorf("explained variance %v out of range", ev)
+	}
+	kps, descs, err := p.DescribeAll(testImage(10), DetectConfig{MaxKeypoints: 10})
+	if err != nil {
+		t.Fatalf("DescribeAll: %v", err)
+	}
+	if len(kps) != len(descs) {
+		t.Fatalf("%d keypoints but %d descriptors", len(kps), len(descs))
+	}
+	for _, d := range descs {
+		if len(d) != 16 {
+			t.Fatalf("PCA descriptor dim %d, want 16", len(d))
+		}
+	}
+}
+
+func TestTrainPCASIFTDefaultsAndErrors(t *testing.T) {
+	p, err := TrainPCASIFT([]*simimg.Image{testImage(20), testImage(21)}, DetectConfig{MaxKeypoints: 20}, 0)
+	if err != nil {
+		t.Fatalf("TrainPCASIFT: %v", err)
+	}
+	if p.OutDim != DefaultPCADim {
+		t.Errorf("default OutDim = %d, want %d", p.OutDim, DefaultPCADim)
+	}
+	if _, err := TrainPCASIFT(nil, DetectConfig{}, 8); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := TrainPCASIFT([]*simimg.Image{simimg.New(64, 64)}, DetectConfig{}, 8); err == nil {
+		t.Error("flat training image yields no patches and should fail")
+	}
+}
+
+func TestMatchDescriptorsExact(t *testing.T) {
+	db := []linalg.Vector{{1, 0}, {0, 1}, {5, 5}}
+	query := []linalg.Vector{{0.9, 0.1}}
+	m := MatchDescriptors(query, db, 0.8)
+	if len(m) != 1 || m[0].DBIdx != 0 {
+		t.Fatalf("match = %+v, want db index 0", m)
+	}
+}
+
+func TestMatchDescriptorsRatioRejects(t *testing.T) {
+	// Two nearly equidistant candidates: ratio test must reject.
+	db := []linalg.Vector{{1, 0}, {1.01, 0}}
+	query := []linalg.Vector{{1.005, 0}}
+	if m := MatchDescriptors(query, db, 0.8); len(m) != 0 {
+		t.Errorf("ambiguous match accepted: %+v", m)
+	}
+}
+
+func TestMatchDescriptorsSingletonDB(t *testing.T) {
+	db := []linalg.Vector{{1, 0}}
+	query := []linalg.Vector{{1, 0}}
+	if m := MatchDescriptors(query, db, 0.8); len(m) != 1 {
+		t.Errorf("singleton db should match: %+v", m)
+	}
+}
+
+func TestSimilarityScoreEmpty(t *testing.T) {
+	if s := SimilarityScore(nil, []linalg.Vector{{1}}, 0); s != 0 {
+		t.Errorf("empty query score = %v", s)
+	}
+	if s := SimilarityScore([]linalg.Vector{{1}}, nil, 0); s != 0 {
+		t.Errorf("empty db score = %v", s)
+	}
+}
+
+func TestMatchDescriptorsSkipsDimMismatch(t *testing.T) {
+	db := []linalg.Vector{{1, 0, 0}, {1, 0}}
+	query := []linalg.Vector{{1, 0}}
+	m := MatchDescriptors(query, db, 0.8)
+	if len(m) != 1 || m[0].DBIdx != 1 {
+		t.Errorf("dimension-mismatched entries not skipped: %+v", m)
+	}
+}

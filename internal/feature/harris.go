@@ -1,0 +1,168 @@
+package feature
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fastrepro/fast/internal/imgproc"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// HarrisConfig tunes the Harris corner detector, an alternative
+// interest-point front end to the DoG detector. Harris corners are cheaper
+// (no scale space) but not scale-invariant; the ablation benchmarks use the
+// two detectors to isolate how much FAST's accuracy depends on the FE
+// module's invariance properties.
+type HarrisConfig struct {
+	// K is the Harris sensitivity constant; 0 means 0.05.
+	K float64
+	// Threshold is the minimum corner response relative to the image's
+	// maximum response; 0 means 0.01.
+	Threshold float64
+	// Sigma smooths the structure tensor; 0 means 1.5.
+	Sigma float64
+	// MaxKeypoints keeps the strongest N; 0 means 64.
+	MaxKeypoints int
+}
+
+func (c HarrisConfig) withDefaults() HarrisConfig {
+	if c.K == 0 {
+		c.K = 0.05
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.01
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 1.5
+	}
+	if c.MaxKeypoints == 0 {
+		c.MaxKeypoints = 64
+	}
+	return c
+}
+
+// DetectHarris finds Harris corners: local maxima of the corner response
+// R = det(M) - k*tr(M)^2 over the Gaussian-smoothed structure tensor M.
+// Keypoints carry a fixed sigma (no scale estimation) and the usual
+// dominant-orientation assignment so the existing descriptors apply.
+func DetectHarris(im *simimg.Image, cfg HarrisConfig) []Keypoint {
+	cfg = cfg.withDefaults()
+	w, h := im.W, im.H
+
+	// Structure tensor components Ix^2, Iy^2, IxIy, smoothed.
+	ixx := simimg.New(w, h)
+	iyy := simimg.New(w, h)
+	ixy := simimg.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx := im.At(x+1, y) - im.At(x-1, y)
+			dy := im.At(x, y+1) - im.At(x, y-1)
+			ixx.Pix[y*w+x] = dx * dx
+			iyy.Pix[y*w+x] = dy * dy
+			ixy.Pix[y*w+x] = dx * dy
+		}
+	}
+	ixx = imgproc.Blur(ixx, cfg.Sigma)
+	iyy = imgproc.Blur(iyy, cfg.Sigma)
+	ixy = imgproc.Blur(ixy, cfg.Sigma)
+
+	// Corner response and its maximum.
+	resp := simimg.New(w, h)
+	maxR := 0.0
+	for i := range resp.Pix {
+		a, b, c := ixx.Pix[i], iyy.Pix[i], ixy.Pix[i]
+		det := a*b - c*c
+		tr := a + b
+		r := det - cfg.K*tr*tr
+		resp.Pix[i] = r
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR <= 0 {
+		return nil
+	}
+	cut := cfg.Threshold * maxR
+
+	// Non-maximum suppression over 3x3 neighborhoods.
+	var kps []Keypoint
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			r := resp.At(x, y)
+			if r < cut {
+				continue
+			}
+			isMax := true
+			for dy := -1; dy <= 1 && isMax; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if resp.At(x+dx, y+dy) > r {
+						isMax = false
+						break
+					}
+				}
+			}
+			if !isMax {
+				continue
+			}
+			kp := Keypoint{
+				X:        float64(x),
+				Y:        float64(y),
+				Sigma:    cfg.Sigma,
+				Response: r,
+			}
+			kp.Orientation = harrisOrientation(im, x, y, cfg.Sigma)
+			kps = append(kps, kp)
+		}
+	}
+	sort.Slice(kps, func(i, j int) bool { return kps[i].Response > kps[j].Response })
+	if len(kps) > cfg.MaxKeypoints {
+		kps = kps[:cfg.MaxKeypoints]
+	}
+	return kps
+}
+
+// harrisOrientation reuses the gradient-histogram orientation assignment at
+// the fixed Harris scale.
+func harrisOrientation(im *simimg.Image, x, y int, sigma float64) float64 {
+	const bins = 36
+	var hist [bins]float64
+	radius := int(math.Ceil(2 * sigma))
+	if radius < 2 {
+		radius = 2
+	}
+	denom := 2 * (1.5 * sigma) * (1.5 * sigma)
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			px, py := x+dx, y+dy
+			if px < 1 || px >= im.W-1 || py < 1 || py >= im.H-1 {
+				continue
+			}
+			gx := im.At(px+1, py) - im.At(px-1, py)
+			gy := im.At(px, py+1) - im.At(px, py-1)
+			mag := math.Sqrt(gx*gx + gy*gy)
+			if mag == 0 {
+				continue
+			}
+			ori := math.Atan2(gy, gx)
+			w := math.Exp(-float64(dx*dx+dy*dy) / denom)
+			bin := int((ori + math.Pi) / (2 * math.Pi) * bins)
+			if bin >= bins {
+				bin = bins - 1
+			}
+			if bin < 0 {
+				bin = 0
+			}
+			hist[bin] += w * mag
+		}
+	}
+	best, bestVal := 0, hist[0]
+	for i := 1; i < bins; i++ {
+		if hist[i] > bestVal {
+			best, bestVal = i, hist[i]
+		}
+	}
+	return (float64(best)+0.5)/bins*2*math.Pi - math.Pi
+}

@@ -1,0 +1,62 @@
+package feature
+
+import (
+	"math"
+
+	"github.com/fastrepro/fast/internal/linalg"
+)
+
+// Match pairs a query descriptor index with its best database match.
+type Match struct {
+	QueryIdx, DBIdx int
+	Distance        float64
+}
+
+// DefaultRatio is Lowe's nearest-neighbor distance-ratio threshold.
+const DefaultRatio = 0.8
+
+// MatchDescriptors performs brute-force nearest-neighbor matching from query
+// descriptors to db descriptors with the distance-ratio test: a match is
+// accepted only when the best distance is below ratio times the second-best.
+// ratio 0 selects DefaultRatio. This is the "point-by-point comparison" the
+// paper charges the SIFT/PCA-SIFT baselines for.
+func MatchDescriptors(query, db []linalg.Vector, ratio float64) []Match {
+	if ratio == 0 {
+		ratio = DefaultRatio
+	}
+	var out []Match
+	for qi, q := range query {
+		best, second := math.Inf(1), math.Inf(1)
+		bestIdx := -1
+		for di, d := range db {
+			if len(d) != len(q) {
+				continue
+			}
+			dist := linalg.Dist(q, d)
+			if dist < best {
+				second = best
+				best, bestIdx = dist, di
+			} else if dist < second {
+				second = dist
+			}
+		}
+		if bestIdx < 0 {
+			continue
+		}
+		if second == 0 || best <= ratio*second || math.IsInf(second, 1) {
+			out = append(out, Match{QueryIdx: qi, DBIdx: bestIdx, Distance: best})
+		}
+	}
+	return out
+}
+
+// SimilarityScore summarizes how strongly two descriptor sets match:
+// the fraction of query descriptors with an accepted ratio-test match.
+// It returns 0 when either set is empty.
+func SimilarityScore(query, db []linalg.Vector, ratio float64) float64 {
+	if len(query) == 0 || len(db) == 0 {
+		return 0
+	}
+	m := MatchDescriptors(query, db, ratio)
+	return float64(len(m)) / float64(len(query))
+}

@@ -1,0 +1,110 @@
+// Package imgproc implements the image-processing kernel that the Feature
+// Extraction (FE) module of FAST is built on: separable Gaussian filtering,
+// Gaussian scale-space pyramids, difference-of-Gaussian (DoG) stacks, and
+// image gradients. It follows the construction of Lowe's scale-invariant
+// keypoint pipeline (IJCV'04), which the paper's FE module uses via DoG
+// detection and PCA-SIFT description.
+package imgproc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// Kernel1D is a normalized, odd-length 1-D convolution kernel.
+type Kernel1D []float64
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel for the given
+// sigma. The radius is ceil(3*sigma), which captures >99.7% of the mass.
+// It returns an error for non-positive sigma.
+func GaussianKernel(sigma float64) (Kernel1D, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("imgproc: sigma must be positive, got %v", sigma)
+	}
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	k := make(Kernel1D, 2*radius+1)
+	var sum float64
+	inv := 1 / (2 * sigma * sigma)
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) * inv)
+		k[i+radius] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k, nil
+}
+
+// Blur applies a separable Gaussian blur with the given sigma and returns a
+// new image. sigma <= 0 returns a clone.
+func Blur(im *simimg.Image, sigma float64) *simimg.Image {
+	if sigma <= 0 {
+		return im.Clone()
+	}
+	k, err := GaussianKernel(sigma)
+	if err != nil {
+		return im.Clone()
+	}
+	return convolveSeparable(im, k)
+}
+
+// convolveSeparable runs the 1-D kernel horizontally then vertically with
+// clamp-to-edge boundary handling.
+func convolveSeparable(im *simimg.Image, k Kernel1D) *simimg.Image {
+	radius := len(k) / 2
+	tmp := simimg.New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			var s float64
+			for i := -radius; i <= radius; i++ {
+				s += k[i+radius] * im.At(x+i, y)
+			}
+			tmp.Pix[y*im.W+x] = s
+		}
+	}
+	out := simimg.New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			var s float64
+			for i := -radius; i <= radius; i++ {
+				s += k[i+radius] * tmp.At(x, y+i)
+			}
+			out.Pix[y*im.W+x] = s
+		}
+	}
+	return out
+}
+
+// Subtract returns a - b pixel-wise; the images must be the same size.
+func Subtract(a, b *simimg.Image) (*simimg.Image, error) {
+	if a.W != b.W || a.H != b.H {
+		return nil, fmt.Errorf("imgproc: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	out := simimg.New(a.W, a.H)
+	for i := range a.Pix {
+		out.Pix[i] = a.Pix[i] - b.Pix[i]
+	}
+	return out, nil
+}
+
+// Gradient computes central-difference image gradients, returning the
+// magnitude and orientation (radians in (-pi, pi]) at every pixel.
+func Gradient(im *simimg.Image) (mag, ori *simimg.Image) {
+	mag = simimg.New(im.W, im.H)
+	ori = simimg.New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			dx := im.At(x+1, y) - im.At(x-1, y)
+			dy := im.At(x, y+1) - im.At(x, y-1)
+			mag.Pix[y*im.W+x] = math.Sqrt(dx*dx + dy*dy)
+			ori.Pix[y*im.W+x] = math.Atan2(dy, dx)
+		}
+	}
+	return mag, ori
+}

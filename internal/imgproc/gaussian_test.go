@@ -1,0 +1,180 @@
+package imgproc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1.0, 1.6, 3.2} {
+		k, err := GaussianKernel(sigma)
+		if err != nil {
+			t.Fatalf("GaussianKernel(%v): %v", sigma, err)
+		}
+		if len(k)%2 != 1 {
+			t.Errorf("kernel length %d not odd", len(k))
+		}
+		var sum float64
+		for _, v := range k {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("sigma %v kernel sums to %v", sigma, sum)
+		}
+		// Symmetric and peaked at center.
+		mid := len(k) / 2
+		for i := 0; i < mid; i++ {
+			if math.Abs(k[i]-k[len(k)-1-i]) > 1e-12 {
+				t.Errorf("kernel asymmetric at %d", i)
+			}
+			if k[i] > k[mid] {
+				t.Errorf("kernel not peaked at center")
+			}
+		}
+	}
+}
+
+func TestGaussianKernelRejectsBadSigma(t *testing.T) {
+	if _, err := GaussianKernel(0); err == nil {
+		t.Error("sigma 0 should fail")
+	}
+	if _, err := GaussianKernel(-1); err == nil {
+		t.Error("negative sigma should fail")
+	}
+}
+
+func TestBlurPreservesConstantImage(t *testing.T) {
+	im := simimg.New(16, 16)
+	for i := range im.Pix {
+		im.Pix[i] = 0.42
+	}
+	out := Blur(im, 2.0)
+	for i, v := range out.Pix {
+		if math.Abs(v-0.42) > 1e-9 {
+			t.Fatalf("blur changed constant image at %d: %v", i, v)
+		}
+	}
+}
+
+func TestBlurReducesVariance(t *testing.T) {
+	im := simimg.NewScene(11).Render(48, 48)
+	out := Blur(im, 2.5)
+	if out.Stddev() >= im.Stddev() {
+		t.Errorf("blur did not reduce variance: %v >= %v", out.Stddev(), im.Stddev())
+	}
+	// Mean is (approximately) preserved away from boundary effects.
+	if d := math.Abs(out.Mean() - im.Mean()); d > 0.02 {
+		t.Errorf("blur shifted mean by %v", d)
+	}
+}
+
+func TestBlurZeroSigmaClones(t *testing.T) {
+	im := simimg.NewScene(12).Render(16, 16)
+	out := Blur(im, 0)
+	mad, _ := simimg.MAD(im, out)
+	if mad != 0 {
+		t.Errorf("sigma-0 blur changed image: MAD %v", mad)
+	}
+	out.Set(0, 0, -1)
+	if im.At(0, 0) == -1 {
+		t.Error("sigma-0 blur returned aliased storage")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := simimg.New(2, 2)
+	b := simimg.New(2, 2)
+	a.Pix[0] = 0.9
+	b.Pix[0] = 0.4
+	d, err := Subtract(a, b)
+	if err != nil {
+		t.Fatalf("Subtract: %v", err)
+	}
+	if math.Abs(d.Pix[0]-0.5) > 1e-12 {
+		t.Errorf("Subtract = %v, want 0.5", d.Pix[0])
+	}
+	if _, err := Subtract(a, simimg.New(3, 2)); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestGradientOnRamp(t *testing.T) {
+	// Horizontal ramp: gradient points along +x with uniform magnitude.
+	im := simimg.New(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			im.Set(x, y, float64(x)/15)
+		}
+	}
+	mag, ori := Gradient(im)
+	// Interior pixels only (borders clamp).
+	for y := 2; y < 14; y++ {
+		for x := 2; x < 14; x++ {
+			if math.Abs(ori.At(x, y)) > 1e-9 {
+				t.Fatalf("orientation at (%d,%d) = %v, want 0", x, y, ori.At(x, y))
+			}
+			if mag.At(x, y) <= 0 {
+				t.Fatalf("magnitude at (%d,%d) = %v, want > 0", x, y, mag.At(x, y))
+			}
+		}
+	}
+}
+
+func TestPyramidStructure(t *testing.T) {
+	im := simimg.NewScene(13).Render(64, 64)
+	p, err := BuildPyramid(im, PyramidConfig{})
+	if err != nil {
+		t.Fatalf("BuildPyramid: %v", err)
+	}
+	if len(p.Octaves) < 2 {
+		t.Fatalf("expected >= 2 octaves for 64x64, got %d", len(p.Octaves))
+	}
+	s := p.Config.ScalesPerOctave
+	for _, oct := range p.Octaves {
+		if len(oct.Levels) != s+3 {
+			t.Errorf("octave %d has %d levels, want %d", oct.Index, len(oct.Levels), s+3)
+		}
+		if len(oct.DoG) != len(oct.Levels)-1 {
+			t.Errorf("octave %d has %d DoG images, want %d", oct.Index, len(oct.DoG), len(oct.Levels)-1)
+		}
+		for l := 1; l < len(oct.Sigmas); l++ {
+			if oct.Sigmas[l] <= oct.Sigmas[l-1] {
+				t.Errorf("octave %d sigmas not increasing: %v", oct.Index, oct.Sigmas)
+			}
+		}
+	}
+	// Each successive octave halves resolution.
+	for i := 1; i < len(p.Octaves); i++ {
+		prev := p.Octaves[i-1].Levels[0]
+		cur := p.Octaves[i].Levels[0]
+		if cur.W != prev.W/2 {
+			t.Errorf("octave %d width %d, want %d", i, cur.W, prev.W/2)
+		}
+		if p.Octaves[i].Scale != p.Octaves[i-1].Scale*2 {
+			t.Errorf("octave %d scale %v", i, p.Octaves[i].Scale)
+		}
+	}
+}
+
+func TestPyramidTooSmall(t *testing.T) {
+	im := simimg.New(4, 4)
+	if _, err := BuildPyramid(im, PyramidConfig{}); err == nil {
+		t.Error("4x4 image should be too small for a pyramid")
+	}
+}
+
+func TestPyramidSigmaDoubling(t *testing.T) {
+	im := simimg.NewScene(14).Render(64, 64)
+	p, err := BuildPyramid(im, PyramidConfig{ScalesPerOctave: 3, Sigma0: 1.6, Octaves: 2})
+	if err != nil {
+		t.Fatalf("BuildPyramid: %v", err)
+	}
+	oct := p.Octaves[0]
+	s := p.Config.ScalesPerOctave
+	// Level s should have twice the base sigma.
+	if ratio := oct.Sigmas[s] / oct.Sigmas[0]; math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("sigma ratio across octave = %v, want 2", ratio)
+	}
+}

@@ -1,0 +1,137 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// randomImage builds a reproducible raster from a seed.
+func randomImage(seed int64, w, h int) *simimg.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := simimg.New(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float64()
+	}
+	return im
+}
+
+// Property: Gaussian blur is linear — blur(a+b) == blur(a) + blur(b).
+func TestBlurLinearityProperty(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomImage(seedA, 16, 16)
+		b := randomImage(seedB, 16, 16)
+		sum := simimg.New(16, 16)
+		for i := range sum.Pix {
+			sum.Pix[i] = a.Pix[i] + b.Pix[i]
+		}
+		ba := Blur(a, 1.2)
+		bb := Blur(b, 1.2)
+		bs := Blur(sum, 1.2)
+		for i := range bs.Pix {
+			if math.Abs(bs.Pix[i]-(ba.Pix[i]+bb.Pix[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blurring twice with sigma s equals one blur with sigma s*sqrt(2)
+// (Gaussian semigroup), within boundary-effect tolerance on the interior.
+func TestBlurSemigroupProperty(t *testing.T) {
+	im := randomImage(7, 32, 32)
+	twice := Blur(Blur(im, 1.0), 1.0)
+	once := Blur(im, math.Sqrt2)
+	var maxDiff float64
+	for y := 8; y < 24; y++ { // interior only: edges clamp
+		for x := 8; x < 24; x++ {
+			d := math.Abs(twice.At(x, y) - once.At(x, y))
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 0.01 {
+		t.Errorf("semigroup violated: interior max diff %v", maxDiff)
+	}
+}
+
+// Property: blur commutes with constant offset — blur(a + c) = blur(a) + c.
+func TestBlurOffsetInvarianceProperty(t *testing.T) {
+	f := func(seed int64, off float64) bool {
+		if math.IsNaN(off) || math.IsInf(off, 0) {
+			off = 0.25
+		}
+		off = math.Mod(off, 1)
+		a := randomImage(seed, 12, 12)
+		shifted := simimg.New(12, 12)
+		for i := range a.Pix {
+			shifted.Pix[i] = a.Pix[i] + off
+		}
+		ba := Blur(a, 1.5)
+		bshift := Blur(shifted, 1.5)
+		for i := range ba.Pix {
+			if math.Abs(bshift.Pix[i]-(ba.Pix[i]+off)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the gradient magnitude of any image is non-negative and zero on
+// constant images.
+func TestGradientNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		im := randomImage(seed, 10, 10)
+		mag, _ := Gradient(im)
+		for _, v := range mag.Pix {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+	flat := simimg.New(8, 8)
+	mag, _ := Gradient(flat)
+	for _, v := range mag.Pix {
+		if v != 0 {
+			t.Fatal("constant image has nonzero gradient")
+		}
+	}
+}
+
+// Property: DoG images of a constant image are identically zero, so the
+// pyramid of a constant image yields no detectable structure.
+func TestPyramidConstantImageProperty(t *testing.T) {
+	im := simimg.New(32, 32)
+	for i := range im.Pix {
+		im.Pix[i] = 0.6
+	}
+	p, err := BuildPyramid(im, PyramidConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oct := range p.Octaves {
+		for _, d := range oct.DoG {
+			for _, v := range d.Pix {
+				if math.Abs(v) > 1e-9 {
+					t.Fatal("constant image produced nonzero DoG response")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package imgproc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// PyramidConfig configures Gaussian scale-space construction.
+type PyramidConfig struct {
+	Octaves         int     // number of octaves; 0 chooses from image size
+	ScalesPerOctave int     // intervals per octave (s); 0 means 3
+	Sigma0          float64 // base blur; 0 means 1.6
+}
+
+func (c PyramidConfig) withDefaults(w, h int) PyramidConfig {
+	if c.ScalesPerOctave == 0 {
+		c.ScalesPerOctave = 3
+	}
+	if c.Sigma0 == 0 {
+		c.Sigma0 = 1.6
+	}
+	if c.Octaves == 0 {
+		minDim := w
+		if h < minDim {
+			minDim = h
+		}
+		// Stop before octaves get smaller than 8px.
+		c.Octaves = 1
+		for d := minDim / 2; d >= 8; d /= 2 {
+			c.Octaves++
+		}
+		if c.Octaves > 5 {
+			c.Octaves = 5
+		}
+	}
+	return c
+}
+
+// Octave is one level of the scale space: ScalesPerOctave+3 progressively
+// blurred images at the same resolution, plus their pairwise differences.
+type Octave struct {
+	Index  int
+	Scale  float64 // downsampling factor relative to the input (1, 2, 4, ...)
+	Levels []*simimg.Image
+	Sigmas []float64
+	DoG    []*simimg.Image // len(Levels)-1 difference images
+}
+
+// Pyramid is the full Gaussian/DoG scale space of an image.
+type Pyramid struct {
+	Config  PyramidConfig
+	Octaves []*Octave
+}
+
+// BuildPyramid constructs the Gaussian scale space and DoG stack for im.
+// It returns an error for degenerate configurations.
+func BuildPyramid(im *simimg.Image, cfg PyramidConfig) (*Pyramid, error) {
+	cfg = cfg.withDefaults(im.W, im.H)
+	if cfg.Octaves < 1 || cfg.ScalesPerOctave < 1 {
+		return nil, fmt.Errorf("imgproc: invalid pyramid config %+v", cfg)
+	}
+	p := &Pyramid{Config: cfg}
+	k := math.Pow(2, 1/float64(cfg.ScalesPerOctave))
+	base := Blur(im, cfg.Sigma0)
+	scale := 1.0
+	for o := 0; o < cfg.Octaves; o++ {
+		if base.W < 8 || base.H < 8 {
+			break
+		}
+		oct := &Octave{Index: o, Scale: scale}
+		levels := cfg.ScalesPerOctave + 3
+		sigma := cfg.Sigma0
+		cur := base
+		for l := 0; l < levels; l++ {
+			oct.Levels = append(oct.Levels, cur)
+			oct.Sigmas = append(oct.Sigmas, sigma)
+			if l == levels-1 {
+				break
+			}
+			next := sigma * k
+			// The incremental blur needed to move from sigma to next.
+			inc := math.Sqrt(next*next - sigma*sigma)
+			cur = Blur(cur, inc)
+			sigma = next
+		}
+		for l := 0; l+1 < len(oct.Levels); l++ {
+			d, err := Subtract(oct.Levels[l+1], oct.Levels[l])
+			if err != nil {
+				return nil, err
+			}
+			oct.DoG = append(oct.DoG, d)
+		}
+		p.Octaves = append(p.Octaves, oct)
+		// Next octave starts from the level with 2x the base sigma,
+		// downsampled by 2.
+		base = simimg.Downsample(oct.Levels[cfg.ScalesPerOctave], 2)
+		scale *= 2
+	}
+	if len(p.Octaves) == 0 {
+		return nil, fmt.Errorf("imgproc: image %dx%d too small for a pyramid", im.W, im.H)
+	}
+	return p, nil
+}

@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi rotation method. Eigenpairs are returned sorted by
+// descending eigenvalue; column i of the returned matrix is the eigenvector
+// for eigenvalue i.
+//
+// Jacobi is O(d^3) per sweep but extremely robust, which is plenty for the
+// small descriptor covariances (d <= a few hundred) used by PCA-SIFT.
+func EigenSym(a *Matrix) (values Vector, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: EigenSym requires a square matrix")
+	}
+	if !a.IsSymmetric(1e-9) {
+		return nil, nil, errors.New("linalg: EigenSym requires a symmetric matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals := NewVector(n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := NewVector(n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies a Jacobi rotation in the (p,q) plane to m and accumulates
+// the rotation into v.
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		mip, miq := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*mip-s*miq)
+		m.Set(i, q, s*mip+c*miq)
+	}
+	for i := 0; i < n; i++ {
+		mpi, mqi := m.At(p, i), m.At(q, i)
+		m.Set(p, i, c*mpi-s*mqi)
+		m.Set(q, i, s*mpi+c*mqi)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if r != c {
+				s += m.At(r, c) * m.At(r, c)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,103 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m, _ := FromRows([]Vector{{3, 0}, {0, 1}})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	if !almostEqual(vals[0], 3, 1e-9) || !almostEqual(vals[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector should align with e1.
+	if math.Abs(vecs.At(0, 0)) < 0.99 {
+		t.Errorf("first eigenvector %v not aligned with e1", vecs.Col(0))
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m, _ := FromRows([]Vector{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	if !almostEqual(vals[0], 3, 1e-9) || !almostEqual(vals[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Verify A v = lambda v for each pair.
+	for i := 0; i < 2; i++ {
+		v := vecs.Col(i)
+		av := m.MulVec(v)
+		for j := range av {
+			if !almostEqual(av[j], vals[i]*v[j], 1e-8) {
+				t.Errorf("A v != lambda v for pair %d: %v vs %v", i, av, v.Scale(vals[i]))
+			}
+		}
+	}
+}
+
+func TestEigenSymRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 12
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := rng.NormFloat64()
+			m.Set(i, j, x)
+			m.Set(j, i, x)
+		}
+	}
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	// Eigenvalues sorted descending.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-9 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+	// Residual check and orthonormality.
+	for i := 0; i < n; i++ {
+		v := vecs.Col(i)
+		if !almostEqual(v.Norm(), 1, 1e-6) {
+			t.Fatalf("eigenvector %d not unit norm: %v", i, v.Norm())
+		}
+		av := m.MulVec(v)
+		res := av.Sub(v.Scale(vals[i])).Norm()
+		if res > 1e-6 {
+			t.Fatalf("residual for pair %d too large: %v", i, res)
+		}
+		for j := i + 1; j < n; j++ {
+			if dot := v.Dot(vecs.Col(j)); math.Abs(dot) > 1e-6 {
+				t.Fatalf("eigenvectors %d,%d not orthogonal: %v", i, j, dot)
+			}
+		}
+	}
+	// Trace is preserved: sum of eigenvalues == trace.
+	var trace, sum float64
+	for i := 0; i < n; i++ {
+		trace += m.At(i, i)
+		sum += vals[i]
+	}
+	if !almostEqual(trace, sum, 1e-8) {
+		t.Errorf("trace %v != eigenvalue sum %v", trace, sum)
+	}
+}
+
+func TestEigenSymErrors(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+	asym, _ := FromRows([]Vector{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(asym); err == nil {
+		t.Error("asymmetric matrix should fail")
+	}
+}

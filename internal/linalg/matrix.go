@@ -1,0 +1,173 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix returns a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix whose rows are the given vectors.
+func FromRows(rows []Vector) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("linalg: FromRows of empty set")
+	}
+	d := len(rows[0])
+	m := NewMatrix(len(rows), d)
+	for r, v := range rows {
+		if len(v) != d {
+			return nil, fmt.Errorf("linalg: row %d has dimension %d, want %d", r, len(v), d)
+		}
+		copy(m.Data[r*d:(r+1)*d], v)
+	}
+	return m, nil
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores x at (r, c).
+func (m *Matrix) Set(r, c int, x float64) { m.Data[r*m.Cols+c] = x }
+
+// Row returns row r as a Vector sharing the underlying storage.
+func (m *Matrix) Row(r int) Vector { return Vector(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// Col returns a copy of column c.
+func (m *Matrix) Col(c int) Vector {
+	out := NewVector(m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.At(r, c)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			t.Set(c, r, m.At(r, c))
+		}
+	}
+	return t
+}
+
+// Mul returns m * b. It returns an error on inner-dimension mismatch.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mrow := m.Data[r*m.Cols : (r+1)*m.Cols]
+		orow := out.Data[r*b.Cols : (r+1)*b.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for c, bv := range brow {
+				orow[c] += mv * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m * v. It panics if len(v) != m.Cols.
+func (m *Matrix) MulVec(v Vector) Vector {
+	mustSameLen(m.Cols, len(v))
+	out := NewVector(m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = Vector(m.Data[r*m.Cols : (r+1)*m.Cols]).Dot(v)
+	}
+	return out
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := r + 1; c < m.Cols; c++ {
+			d := m.At(r, c) - m.At(c, r)
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Covariance returns the d x d sample covariance matrix of the rows of the
+// sample matrix (n rows of dimension d), along with the sample mean.
+// It returns an error when n < 2.
+func Covariance(samples []Vector) (*Matrix, Vector, error) {
+	n := len(samples)
+	if n < 2 {
+		return nil, nil, errors.New("linalg: covariance requires at least 2 samples")
+	}
+	mean, err := Mean(samples)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := len(mean)
+	cov := NewMatrix(d, d)
+	centered := NewVector(d)
+	for _, s := range samples {
+		if len(s) != d {
+			return nil, nil, fmt.Errorf("linalg: sample dimension %d, want %d", len(s), d)
+		}
+		for i := range s {
+			centered[i] = s[i] - mean[i]
+		}
+		for i := 0; i < d; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			row := cov.Data[i*d : (i+1)*d]
+			for j := i; j < d; j++ {
+				row[j] += ci * centered[j]
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.At(i, j) * inv
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov, mean, nil
+}

@@ -1,0 +1,173 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatalf("Set/At round trip failed: %+v", m)
+	}
+	row := m.Row(1)
+	if row[2] != 5 {
+		t.Errorf("Row(1)[2] = %v, want 5", row[2])
+	}
+	col := m.Col(2)
+	if col[0] != 0 || col[1] != 5 {
+		t.Errorf("Col(2) = %v, want [0 5]", col)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	id := Identity(3)
+	m := NewMatrix(3, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i + 1)
+	}
+	p, err := id.Mul(m)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	for i := range m.Data {
+		if p.Data[i] != m.Data[i] {
+			t.Fatalf("I*M != M at %d: %v vs %v", i, p.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([]Vector{{1, 2}, {3, 4}})
+	b, _ := FromRows([]Vector{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if p.Data[i] != w {
+			t.Errorf("Mul.Data[%d] = %v, want %v", i, p.Data[i], w)
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("Mul with mismatched inner dimensions should fail")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([]Vector{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T dims = %dx%d, want 3x2", at.Rows, at.Cols)
+	}
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			if a.At(r, c) != at.At(c, r) {
+				t.Fatalf("T mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([]Vector{{1, 0}, {0, 2}, {1, 1}})
+	v := a.MulVec(Vector{3, 4})
+	want := Vector{3, 8, 7}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated dimensions.
+	samples := []Vector{{1, 2}, {2, 4}, {3, 6}}
+	cov, mean, err := Covariance(samples)
+	if err != nil {
+		t.Fatalf("Covariance: %v", err)
+	}
+	if mean[0] != 2 || mean[1] != 4 {
+		t.Errorf("mean = %v, want [2 4]", mean)
+	}
+	// var(x)=1, var(y)=4, cov(x,y)=2 (sample covariance, n-1 divisor).
+	want := [][]float64{{1, 2}, {2, 4}}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if !almostEqual(cov.At(r, c), want[r][c], 1e-12) {
+				t.Errorf("cov(%d,%d) = %v, want %v", r, c, cov.At(r, c), want[r][c])
+			}
+		}
+	}
+	if !cov.IsSymmetric(0) {
+		t.Error("covariance must be symmetric")
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	if _, _, err := Covariance([]Vector{{1, 2}}); err == nil {
+		t.Error("Covariance with 1 sample should fail")
+	}
+	if _, _, err := Covariance([]Vector{{1, 2}, {1}}); err == nil {
+		t.Error("Covariance with mixed dims should fail")
+	}
+}
+
+func TestCovariancePSD(t *testing.T) {
+	// A covariance matrix must be positive semi-definite: v' C v >= 0.
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]Vector, 50)
+	for i := range samples {
+		v := NewVector(6)
+		for j := range v {
+			v[j] = rng.NormFloat64() * float64(j+1)
+		}
+		samples[i] = v
+	}
+	cov, _, err := Covariance(samples)
+	if err != nil {
+		t.Fatalf("Covariance: %v", err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		v := NewVector(6)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if q := v.Dot(cov.MulVec(v)); q < -1e-9 {
+			t.Fatalf("covariance not PSD: v'Cv = %v", q)
+		}
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows(nil) should fail")
+	}
+	if _, err := FromRows([]Vector{{1}, {1, 2}}); err == nil {
+		t.Error("FromRows with ragged rows should fail")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m, _ := FromRows([]Vector{{1, 2}, {2, 1}})
+	if !m.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	m.Set(0, 1, 3)
+	if m.IsSymmetric(1e-9) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	rect := NewMatrix(2, 3)
+	if rect.IsSymmetric(math.Inf(1)) {
+		t.Error("rectangular matrix cannot be symmetric")
+	}
+}

@@ -1,0 +1,121 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// Property: (A B)^T == B^T A^T.
+func TestTransposeOfProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 4, 6)
+		b := randomMatrix(rng, 6, 3)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		left := ab.T()
+		right, err := b.T().Mul(a.T())
+		if err != nil {
+			return false
+		}
+		for i := range left.Data {
+			if !almostEqual(left.Data[i], right.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix-vector multiplication distributes over vector addition.
+func TestMulVecDistributesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 5, 7)
+		v := NewVector(7)
+		w := NewVector(7)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			w[i] = rng.NormFloat64()
+		}
+		left := m.MulVec(v.Add(w))
+		right := m.MulVec(v).Add(m.MulVec(w))
+		for i := range left {
+			if !almostEqual(left[i], right[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double transpose is the identity.
+func TestDoubleTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 3, 8)
+		tt := m.T().T()
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return tt.Rows == m.Rows && tt.Cols == m.Cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PCA projection is affine — project(a) - project(b) equals the
+// basis applied to (a - b), independent of the mean.
+func TestPCAProjectionAffineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	samples := makeAnisotropic(rng, 80, 6)
+	p, err := FitPCA(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewVector(6)
+		b := NewVector(6)
+		for i := range a {
+			a[i] = r.NormFloat64() * 3
+			b[i] = r.NormFloat64() * 3
+		}
+		pa, err1 := p.Project(a)
+		pb, err2 := p.Project(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		direct := p.Basis.MulVec(a.Sub(b))
+		diff := pa.Sub(pb)
+		for i := range diff {
+			if !almostEqual(diff[i], direct[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQueryMultiProbeValidation(t *testing.T) {
+	idx, _ := New(Params{Dim: 4, Seed: 1})
+	if _, err := idx.QueryMultiProbe([]float64{1}, 2); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := idx.QueryMultiProbe([]float64{1, 2, 3, 4}, -1); err == nil {
+		t.Error("negative probe count should fail")
+	}
+}
+
+func TestQueryMultiProbeZeroEqualsPlainQuery(t *testing.T) {
+	idx, _ := New(Params{Dim: 8, Seed: 2})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		_ = idx.Insert(ItemID(i), v)
+	}
+	q := make([]float64, 8)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	plain, err := idx.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := idx.QueryMultiProbe(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(mp) {
+		t.Fatalf("zero-probe multiprobe differs from plain query: %d vs %d", len(plain), len(mp))
+	}
+	for i := range plain {
+		if plain[i] != mp[i] {
+			t.Fatal("candidate order differs")
+		}
+	}
+}
+
+func TestQueryMultiProbeImprovesRecall(t *testing.T) {
+	// Near neighbors that fall just across a slot boundary are recovered by
+	// directed probing. Measure pairwise recall with and without probes.
+	const dim = 8
+	idx, _ := New(Params{Dim: dim, Omega: 2.0, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	const n = 300
+	base := make([][]float64, n)
+	for i := range base {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 10
+		}
+		base[i] = v
+		_ = idx.Insert(ItemID(i), v)
+	}
+	countHits := func(probes int) int {
+		hits := 0
+		for i, v := range base {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = v[j] + rng.NormFloat64()*0.4 // near the stored point
+			}
+			var ids []ItemID
+			var err error
+			if probes == 0 {
+				ids, err = idx.Query(q)
+			} else {
+				ids, err = idx.QueryMultiProbe(q, probes)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range ids {
+				if id == ItemID(i) {
+					hits++
+					break
+				}
+			}
+		}
+		return hits
+	}
+	plain := countHits(0)
+	probed := countHits(6)
+	if probed <= plain {
+		t.Errorf("multi-probe recall %d/%d not above plain %d/%d", probed, n, plain, n)
+	}
+}
+
+func TestQueryMultiProbeSupersetOfPlain(t *testing.T) {
+	idx, _ := New(Params{Dim: 4, Omega: 1.5, Seed: 5})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		v := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		_ = idx.Insert(ItemID(i), v)
+	}
+	q := []float64{0.1, -0.2, 0.3, 0.4}
+	plain, _ := idx.Query(q)
+	probed, _ := idx.QueryMultiProbe(q, 4)
+	inProbed := make(map[ItemID]bool, len(probed))
+	for _, id := range probed {
+		inProbed[id] = true
+	}
+	for _, id := range plain {
+		if !inProbed[id] {
+			t.Fatalf("plain candidate %d missing from multi-probe result", id)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram buckets duration samples logarithmically (one bucket per
+// power-of-two microsecond range) for cheap, fixed-memory latency
+// distributions — used by long-running drivers where keeping every sample
+// (as Latency does) would grow without bound.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets map[int]int64 // log2(µs) -> count
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int64)}
+}
+
+// bucketOf returns the log2 bucket for d (clamped at 0 for sub-µs values).
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// bucketLow returns the lower bound of bucket b.
+func bucketLow(b int) time.Duration {
+	return time.Duration(int64(1)<<uint(b)) * time.Microsecond
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) at bucket
+// resolution: the upper edge of the bucket containing that rank. Empty
+// histograms return 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count-1))
+	keys := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	var seen int64
+	for _, b := range keys {
+		seen += h.buckets[b]
+		if seen > rank {
+			return bucketLow(b + 1) // bucket upper edge
+		}
+	}
+	return h.max
+}
+
+// String renders a compact text histogram, one line per occupied bucket.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return "histogram: empty"
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram: %d samples, min %v, max %v\n", h.count, h.min, h.max)
+	var peak int64
+	for _, b := range keys {
+		if h.buckets[b] > peak {
+			peak = h.buckets[b]
+		}
+	}
+	for _, b := range keys {
+		n := h.buckets[b]
+		bar := strings.Repeat("#", int(40*n/peak))
+		fmt.Fprintf(&sb, "%12v-%-12v %8d %s\n", bucketLow(b), bucketLow(b+1), n, bar)
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram: count=%d mean=%v q=%v", h.Count(), h.Mean(), h.Quantile(0.5))
+	}
+	if !strings.Contains(h.String(), "empty") {
+		t.Error("empty String missing marker")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	samples := []time.Duration{
+		10 * time.Microsecond,
+		20 * time.Microsecond,
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		100 * time.Millisecond,
+	}
+	for _, s := range samples {
+		h.Record(s)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	wantMean := (10*time.Microsecond + 20*time.Microsecond + time.Millisecond + 2*time.Millisecond + 100*time.Millisecond) / 5
+	if h.Mean() != wantMean {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// Median upper bound must cover the third sample (1ms) but stay well
+	// below the max.
+	med := h.Quantile(0.5)
+	if med < time.Millisecond || med > 4*time.Millisecond {
+		t.Errorf("median bound = %v", med)
+	}
+	// p100 hits the max bucket.
+	if q := h.Quantile(1); q < 100*time.Millisecond {
+		t.Errorf("p100 = %v below max sample", q)
+	}
+	// Quantiles are monotone.
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at %v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramClampsInputs(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second) // clamped to 0
+	if h.Count() != 1 {
+		t.Fatal("negative sample dropped")
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("out-of-range quantiles not clamped")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.String()
+	if !strings.Contains(s, "100 samples") {
+		t.Errorf("String missing count: %s", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Error("String missing bars")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Record(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d, want 4000", h.Count())
+	}
+}

@@ -1,0 +1,85 @@
+package rtree
+
+// Delete removes the entry with the given rectangle and ID. It implements
+// Guttman's CondenseTree in simplified form: the entry's leaf is located by
+// rectangle descent, the entry removed, and any node left under-full is
+// dissolved with its remaining entries re-inserted. It reports whether the
+// entry was found.
+func (t *Tree) Delete(e Entry) bool {
+	if t.size == 0 || !e.Rect.Valid() {
+		return false
+	}
+	var orphans []Entry
+	removed := t.deleteRec(t.root, e, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+	// Collapse a root with a single internal child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true}
+	}
+	t.root.rect = recomputeRect(t.root)
+	// Re-insert orphans from dissolved nodes.
+	for _, o := range orphans {
+		t.size-- // Insert will re-increment
+		if err := t.Insert(o); err != nil {
+			// Orphans came out of the tree, so their rects are valid;
+			// Insert cannot fail. Restore the count defensively anyway.
+			t.size++
+		}
+	}
+	return true
+}
+
+// deleteRec removes e from the subtree rooted at n, collecting entries of
+// dissolved under-full nodes into orphans. It returns whether e was found.
+func (t *Tree) deleteRec(n *node, e Entry, orphans *[]Entry) bool {
+	if n.leaf {
+		for i, got := range n.entries {
+			if got.ID == e.ID && got.Rect == e.Rect {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				n.rect = recomputeRect(n)
+				return true
+			}
+		}
+		return false
+	}
+	for ci, c := range n.children {
+		if !c.rect.Contains(e.Rect) && !c.rect.Intersects(e.Rect) {
+			continue
+		}
+		if !t.deleteRec(c, e, orphans) {
+			continue
+		}
+		// Dissolve under-full children (except when c is the only child of
+		// the root path, handled by the caller's collapse step).
+		if under(c, t.minEntries) {
+			collectEntries(c, orphans)
+			n.children = append(n.children[:ci], n.children[ci+1:]...)
+		}
+		n.rect = recomputeRect(n)
+		return true
+	}
+	return false
+}
+
+func under(n *node, min int) bool {
+	if n.leaf {
+		return len(n.entries) < min
+	}
+	return len(n.children) < min
+}
+
+func collectEntries(n *node, out *[]Entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, c := range n.children {
+		collectEntries(c, out)
+	}
+}

@@ -1,0 +1,107 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr, _ := New(0, 0)
+	for i := 0; i < 20; i++ {
+		_ = tr.Insert(Entry{Rect: Point(float64(i), float64(i)), ID: uint64(i + 1)})
+	}
+	if !tr.Delete(Entry{Rect: Point(5, 5), ID: 6}) {
+		t.Fatal("Delete returned false for present entry")
+	}
+	if tr.Len() != 19 {
+		t.Fatalf("Len = %d, want 19", tr.Len())
+	}
+	got := tr.Search(Point(5, 5))
+	for _, e := range got {
+		if e.ID == 6 {
+			t.Fatal("deleted entry still found")
+		}
+	}
+	// Deleting again fails.
+	if tr.Delete(Entry{Rect: Point(5, 5), ID: 6}) {
+		t.Error("double delete returned true")
+	}
+	// Wrong rect for an existing ID fails.
+	if tr.Delete(Entry{Rect: Point(99, 99), ID: 7}) {
+		t.Error("delete with mismatched rect returned true")
+	}
+	if tr.Delete(Entry{Rect: Rect{2, 2, 1, 1}, ID: 7}) {
+		t.Error("delete with invalid rect returned true")
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr, _ := New(0, 0)
+	rng := rand.New(rand.NewSource(1))
+	type stored struct {
+		r  Rect
+		id uint64
+	}
+	var items []stored
+	for i := 0; i < 300; i++ {
+		r := Point(rng.Float64()*100, rng.Float64()*100)
+		items = append(items, stored{r, uint64(i + 1)})
+		if err := tr.Insert(Entry{Rect: r, ID: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete everything in random order.
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for i, it := range items {
+		if !tr.Delete(Entry{Rect: it.r, ID: it.id}) {
+			t.Fatalf("delete %d (id %d) failed", i, it.id)
+		}
+		if tr.Len() != len(items)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+	}
+	if got := tr.Search(Rect{-1, -1, 101, 101}); len(got) != 0 {
+		t.Fatalf("empty tree still returns %d entries", len(got))
+	}
+	// The tree remains usable.
+	if err := tr.Insert(Entry{Rect: Point(1, 1), ID: 9999}); err != nil {
+		t.Fatalf("insert after full drain: %v", err)
+	}
+	if got := tr.Search(Point(1, 1)); len(got) != 1 {
+		t.Fatalf("reinserted entry not found")
+	}
+}
+
+func TestDeleteKeepsRemainderSearchable(t *testing.T) {
+	tr, _ := New(0, 0)
+	rng := rand.New(rand.NewSource(2))
+	kept := map[uint64]Rect{}
+	for i := 0; i < 400; i++ {
+		r := Point(rng.Float64()*50, rng.Float64()*50)
+		id := uint64(i + 1)
+		kept[id] = r
+		_ = tr.Insert(Entry{Rect: r, ID: id})
+	}
+	// Remove every third entry.
+	for id := uint64(3); id <= 400; id += 3 {
+		if !tr.Delete(Entry{Rect: kept[id], ID: id}) {
+			t.Fatalf("delete id %d failed", id)
+		}
+		delete(kept, id)
+	}
+	// Every surviving entry is still findable at its exact point.
+	for id, r := range kept {
+		found := false
+		for _, e := range tr.Search(r) {
+			if e.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("surviving entry %d lost after deletions", id)
+		}
+	}
+	if tr.Len() != len(kept) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(kept))
+	}
+}

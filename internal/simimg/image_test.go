@@ -1,0 +1,111 @@
+package simimg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndSetAt(t *testing.T) {
+	im := New(4, 3)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 12 {
+		t.Fatalf("New produced %dx%d with %d pixels", im.W, im.H, len(im.Pix))
+	}
+	im.Set(2, 1, 0.7)
+	if got := im.At(2, 1); got != 0.7 {
+		t.Errorf("At(2,1) = %v, want 0.7", got)
+	}
+	// Out-of-bounds writes are ignored; reads clamp to edge.
+	im.Set(-1, 0, 0.3)
+	im.Set(0, 99, 0.3)
+	if got := im.At(-5, 1); got != im.At(0, 1) {
+		t.Errorf("negative x should clamp to edge: %v vs %v", got, im.At(0, 1))
+	}
+	if got := im.At(2, 99); got != im.At(2, 2) {
+		t.Errorf("large y should clamp to edge: %v vs %v", got, im.At(2, 2))
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 5) should panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestBilinearInterpolation(t *testing.T) {
+	im := New(2, 2)
+	im.Set(0, 0, 0)
+	im.Set(1, 0, 1)
+	im.Set(0, 1, 0)
+	im.Set(1, 1, 1)
+	if got := im.Bilinear(0.5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Bilinear center = %v, want 0.5", got)
+	}
+	if got := im.Bilinear(0, 0); got != 0 {
+		t.Errorf("Bilinear at grid point = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	im := New(2, 1)
+	im.Pix[0] = -0.5
+	im.Pix[1] = 2.3
+	im.Clamp()
+	if im.Pix[0] != 0 || im.Pix[1] != 1 {
+		t.Errorf("Clamp = %v, want [0 1]", im.Pix)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	im := New(2, 1)
+	im.Pix[0] = 0
+	im.Pix[1] = 1
+	if m := im.Mean(); m != 0.5 {
+		t.Errorf("Mean = %v, want 0.5", m)
+	}
+	if s := im.Stddev(); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("Stddev = %v, want 0.5", s)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	b.Pix[3] = 1
+	got, err := MAD(a, b)
+	if err != nil {
+		t.Fatalf("MAD: %v", err)
+	}
+	if got != 0.25 {
+		t.Errorf("MAD = %v, want 0.25", got)
+	}
+	if _, err := MAD(a, New(3, 2)); err == nil {
+		t.Error("MAD with size mismatch should fail")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(2, 2)
+	c := a.Clone()
+	c.Set(0, 0, 1)
+	if a.At(0, 0) != 0 {
+		t.Error("Clone shares pixel storage with original")
+	}
+}
+
+// Property: bilinear sampling at integer grid points equals At.
+func TestBilinearMatchesGridProperty(t *testing.T) {
+	im := New(8, 8)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i%7) / 7
+	}
+	f := func(xi, yi uint8) bool {
+		x, y := int(xi)%8, int(yi)%8
+		return math.Abs(im.Bilinear(float64(x), float64(y))-im.At(x, y)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

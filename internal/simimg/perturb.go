@@ -1,0 +1,117 @@
+package simimg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Perturbation describes the photometric and geometric changes applied to a
+// scene rendering to simulate a distinct photograph of the same place.
+type Perturbation struct {
+	NoiseSigma float64 // additive Gaussian noise
+	Rotation   float64 // radians about the image center
+	Scale      float64 // zoom factor (1 = none)
+	Brightness float64 // additive offset
+	Contrast   float64 // multiplicative gain around 0.5
+	ShiftX     float64 // translation in pixels
+	ShiftY     float64
+}
+
+// RandomPerturbation draws a perturbation whose magnitude grows with
+// severity in [0, 1]. severity 0 means an exact duplicate, severity around
+// 0.3 resembles a re-take from the same spot, and severity 1 is an extreme
+// viewpoint/illumination change.
+func RandomPerturbation(rng *rand.Rand, severity float64) Perturbation {
+	if severity < 0 {
+		severity = 0
+	} else if severity > 1 {
+		severity = 1
+	}
+	return Perturbation{
+		NoiseSigma: 0.05 * severity * rng.Float64(),
+		Rotation:   (rng.Float64()*2 - 1) * 0.35 * severity,
+		Scale:      1 + (rng.Float64()*2-1)*0.25*severity,
+		Brightness: (rng.Float64()*2 - 1) * 0.15 * severity,
+		Contrast:   1 + (rng.Float64()*2-1)*0.3*severity,
+		ShiftX:     (rng.Float64()*2 - 1) * 6 * severity,
+		ShiftY:     (rng.Float64()*2 - 1) * 6 * severity,
+	}
+}
+
+// Apply renders the perturbed version of im. The source image is not
+// modified. Geometric resampling is bilinear about the image center.
+func (p Perturbation) Apply(im *Image, rng *rand.Rand) *Image {
+	out := New(im.W, im.H)
+	cx, cy := float64(im.W-1)/2, float64(im.H-1)/2
+	cos, sin := math.Cos(-p.Rotation), math.Sin(-p.Rotation)
+	scale := p.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	inv := 1 / scale
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			// Inverse-map destination to source coordinates.
+			dx := (float64(x) - cx - p.ShiftX) * inv
+			dy := (float64(y) - cy - p.ShiftY) * inv
+			sx := cos*dx - sin*dy + cx
+			sy := sin*dx + cos*dy + cy
+			v := im.Bilinear(sx, sy)
+			v = (v-0.5)*p.Contrast + 0.5 + p.Brightness
+			if p.NoiseSigma > 0 {
+				v += rng.NormFloat64() * p.NoiseSigma
+			}
+			out.Pix[y*im.W+x] = v
+		}
+	}
+	out.Clamp()
+	return out
+}
+
+// Downsample returns the image reduced by an integer factor using box
+// averaging; factor < 2 returns a clone.
+func Downsample(im *Image, factor int) *Image {
+	if factor < 2 {
+		return im.Clone()
+	}
+	w, h := im.W/factor, im.H/factor
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float64
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					s += im.At(x*factor+dx, y*factor+dy)
+				}
+			}
+			out.Pix[y*w+x] = s / float64(factor*factor)
+		}
+	}
+	return out
+}
+
+// Resize resamples im to w x h with bilinear interpolation.
+func Resize(im *Image, w, h int) *Image {
+	out := New(w, h)
+	sx := float64(im.W-1) / float64(max(w-1, 1))
+	sy := float64(im.H-1) / float64(max(h-1, 1))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = im.Bilinear(float64(x)*sx, float64(y)*sy)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

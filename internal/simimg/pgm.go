@@ -1,0 +1,116 @@
+package simimg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM encodes the image as a binary PGM (P5) file: the interchange
+// format the imagegen tool emits and external tools can read. Pixels are
+// clamped to [0,1] and quantized to 8 bits.
+func WritePGM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	buf := make([]byte, len(im.Pix))
+	for i, v := range im.Pix {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		buf[i] = byte(v*255 + 0.5)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPGM decodes a binary PGM (P5) image into the float raster the
+// pipeline consumes. Maxval up to 255 is supported; comments (# lines) in
+// the header are accepted.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("simimg: pgm header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("simimg: unsupported magic %q (want P5)", magic)
+	}
+	w, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("simimg: pgm width: %w", err)
+	}
+	h, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("simimg: pgm height: %w", err)
+	}
+	maxv, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("simimg: pgm maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("simimg: unreasonable pgm dimensions %dx%d", w, h)
+	}
+	if maxv <= 0 || maxv > 255 {
+		return nil, fmt.Errorf("simimg: unsupported maxval %d", maxv)
+	}
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("simimg: pgm pixels: %w", err)
+	}
+	im := New(w, h)
+	inv := 1 / float64(maxv)
+	for i, b := range buf {
+		im.Pix[i] = float64(b) * inv
+	}
+	return im, nil
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping # comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad integer %q", tok)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("integer %q too large", tok)
+		}
+	}
+	return n, nil
+}

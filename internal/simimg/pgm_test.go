@@ -1,0 +1,72 @@
+package simimg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := NewScene(33).Render(48, 32)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatalf("WritePGM: %v", err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if back.W != 48 || back.H != 32 {
+		t.Fatalf("dimensions %dx%d, want 48x32", back.W, back.H)
+	}
+	mad, err := MAD(im, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit quantization bounds the error by 1/255 (plus rounding).
+	if mad > 1.0/255+1e-9 {
+		t.Errorf("round-trip MAD %v exceeds quantization bound", mad)
+	}
+}
+
+func TestReadPGMWithComments(t *testing.T) {
+	src := "P5\n# a comment line\n2 2\n# another\n255\n\x00\x7f\xff\x40"
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if im.W != 2 || im.H != 2 {
+		t.Fatalf("dims %dx%d", im.W, im.H)
+	}
+	if im.Pix[0] != 0 || im.Pix[3] != 64.0/255 {
+		t.Errorf("pixels decoded wrong: %v", im.Pix)
+	}
+}
+
+func TestReadPGMErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":   "P2\n2 2\n255\nabcd",
+		"no width":    "P5\n",
+		"bad width":   "P5\nxx 2\n255\n",
+		"zero dim":    "P5\n0 2\n255\n",
+		"bad maxval":  "P5\n2 2\n99999\n\x00\x00\x00\x00",
+		"short bytes": "P5\n2 2\n255\n\x00\x01",
+		"empty":       "",
+	}
+	for name, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: ReadPGM should fail", name)
+		}
+	}
+}
+
+func TestWritePGMMaxvalScaling(t *testing.T) {
+	src := "P5\n1 1\n100\n\x64" // maxval 100, pixel 100 -> 1.0
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Pix[0] != 1 {
+		t.Errorf("maxval scaling: %v, want 1", im.Pix[0])
+	}
+}

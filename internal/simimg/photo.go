@@ -1,0 +1,139 @@
+package simimg
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Format is the simulated on-disk encoding of a photo. It only affects the
+// simulated file size (Table II reports the bmp/jpeg/gif mix of the corpus).
+type Format uint8
+
+// Supported photo formats, matching Table II of the paper.
+const (
+	JPEG Format = iota
+	BMP
+	GIF
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case JPEG:
+		return "jpeg"
+	case BMP:
+		return "bmp"
+	case GIF:
+		return "gif"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// GeoPoint is a latitude/longitude pair used by the RNPE baseline, which
+// indexes photos by the location view they were captured from.
+type GeoPoint struct {
+	Lat, Lon float64
+}
+
+// Photo is one synthetic photograph: the raster plus the metadata the
+// various pipelines consume.
+type Photo struct {
+	ID        uint64
+	Scene     SceneID
+	Subjects  []SubjectID // ground truth: subjects visible in this photo
+	Severity  float64     // perturbation severity used to render it
+	Loc       GeoPoint    // capture location (near the scene's landmark)
+	Taken     time.Time   // capture timestamp
+	SizeBytes int64       // simulated original file size
+	Fmt       Format
+	Img       *Image
+}
+
+// ContainsSubject reports whether the photo's ground truth includes id.
+func (p *Photo) ContainsSubject(id SubjectID) bool {
+	for _, s := range p.Subjects {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// PhotoParams configures RenderPhoto.
+type PhotoParams struct {
+	Resolution int     // square raster size; 0 means 64
+	Severity   float64 // perturbation severity in [0,1]
+	Subjects   []SubjectID
+	// SubjectOpacity controls how strongly subject patches are composited;
+	// 0 means the default of 0.9.
+	SubjectOpacity float64
+}
+
+// RenderPhoto produces a deterministic photograph of the scene: the scene is
+// rendered, subject patches are composited at pseudo-random positions, and a
+// severity-scaled perturbation is applied. The rng drives all randomness, so
+// callers that seed it deterministically get reproducible corpora.
+func RenderPhoto(id uint64, scene *Scene, params PhotoParams, rng *rand.Rand) *Photo {
+	res := params.Resolution
+	if res == 0 {
+		res = 64
+	}
+	img := scene.Render(res, res)
+	opacity := params.SubjectOpacity
+	if opacity == 0 {
+		opacity = 0.9
+	}
+	for _, sid := range params.Subjects {
+		size := res / 4
+		if size < 8 {
+			size = 8
+		}
+		patch := SubjectPatch(sid, size)
+		// Keep the patch comfortably inside the frame so rotation does not
+		// clip it away.
+		margin := size/2 + 2
+		cx := margin + rng.Intn(max(res-2*margin, 1))
+		cy := margin + rng.Intn(max(res-2*margin, 1))
+		Composite(img, patch, cx, cy, opacity)
+	}
+	pert := RandomPerturbation(rng, params.Severity)
+	img = pert.Apply(img, rng)
+
+	// Landmark locations are deterministic per scene; individual photos are
+	// taken within ~100m of the landmark.
+	locRng := rand.New(rand.NewSource(int64(scene.ID) * 7919))
+	base := GeoPoint{
+		Lat: 29 + locRng.Float64()*3, // roughly central China latitudes
+		Lon: 113 + locRng.Float64()*9,
+	}
+	loc := GeoPoint{
+		Lat: base.Lat + (rng.Float64()*2-1)*0.001,
+		Lon: base.Lon + (rng.Float64()*2-1)*0.001,
+	}
+
+	formats := []Format{JPEG, JPEG, JPEG, JPEG, JPEG, JPEG, JPEG, JPEG, BMP, GIF}
+	f := formats[rng.Intn(len(formats))]
+	var size int64
+	switch f {
+	case JPEG:
+		size = int64(800_000 + rng.Intn(2_400_000)) // ~0.8-3.2 MB
+	case BMP:
+		size = int64(3_000_000 + rng.Intn(9_000_000))
+	case GIF:
+		size = int64(200_000 + rng.Intn(1_800_000))
+	}
+
+	return &Photo{
+		ID:        id,
+		Scene:     scene.ID,
+		Subjects:  append([]SubjectID(nil), params.Subjects...),
+		Severity:  params.Severity,
+		Loc:       loc,
+		Taken:     time.Date(2013, 10, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(rng.Int63n(int64(7 * 24 * time.Hour)))),
+		SizeBytes: size,
+		Fmt:       f,
+		Img:       img,
+	}
+}

@@ -1,0 +1,168 @@
+package simimg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SceneID identifies a landmark scene; images rendered from the same SceneID
+// are ground-truth "similar" (they depict the same place).
+type SceneID uint64
+
+// SubjectID identifies a person/object that can appear inside scenes. The
+// missing-child use case searches for images containing a given SubjectID.
+type SubjectID uint64
+
+// Scene is a deterministic procedural landmark: a fixed texture built from a
+// small set of oriented gratings, blobs and edges whose parameters are seeded
+// by the SceneID. Rendering the same scene twice yields identical pixels.
+type Scene struct {
+	ID       SceneID
+	gratings []grating
+	blobs    []blob
+	edges    []edge
+}
+
+type grating struct {
+	fx, fy, phase, amp float64
+}
+
+type blob struct {
+	cx, cy, sigma, amp float64
+}
+
+type edge struct {
+	// a step edge along a line: sign(nx*x + ny*y - d) * amp, softened.
+	nx, ny, d, amp, soft float64
+}
+
+// NewScene builds the deterministic scene for id. Structure counts are fixed
+// so that every scene has a comparable amount of "texture" for the
+// interest-point detector to latch onto.
+func NewScene(id SceneID) *Scene {
+	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 12345))
+	s := &Scene{ID: id}
+	const nGratings, nBlobs, nEdges = 6, 10, 4
+	for i := 0; i < nGratings; i++ {
+		s.gratings = append(s.gratings, grating{
+			fx:    (rng.Float64()*0.5 + 0.05) * signOf(rng),
+			fy:    (rng.Float64()*0.5 + 0.05) * signOf(rng),
+			phase: rng.Float64() * 2 * math.Pi,
+			amp:   0.05 + rng.Float64()*0.08,
+		})
+	}
+	for i := 0; i < nBlobs; i++ {
+		s.blobs = append(s.blobs, blob{
+			cx:    rng.Float64(),
+			cy:    rng.Float64(),
+			sigma: 0.02 + rng.Float64()*0.08,
+			amp:   (0.15 + rng.Float64()*0.35) * signOf(rng),
+		})
+	}
+	for i := 0; i < nEdges; i++ {
+		theta := rng.Float64() * math.Pi
+		s.edges = append(s.edges, edge{
+			nx:   math.Cos(theta),
+			ny:   math.Sin(theta),
+			d:    rng.Float64()*1.2 - 0.1,
+			amp:  0.08 + rng.Float64()*0.15,
+			soft: 0.01 + rng.Float64()*0.03,
+		})
+	}
+	return s
+}
+
+func signOf(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}
+
+// Intensity evaluates the scene texture at normalized coordinates
+// (u, v) in [0,1]^2, returning a value roughly in [0,1].
+func (s *Scene) Intensity(u, v float64) float64 {
+	val := 0.5
+	for _, g := range s.gratings {
+		val += g.amp * math.Sin(2*math.Pi*(g.fx*u*16+g.fy*v*16)+g.phase)
+	}
+	for _, b := range s.blobs {
+		du, dv := u-b.cx, v-b.cy
+		val += b.amp * math.Exp(-(du*du+dv*dv)/(2*b.sigma*b.sigma))
+	}
+	for _, e := range s.edges {
+		proj := e.nx*u + e.ny*v - e.d
+		val += e.amp * math.Tanh(proj/e.soft)
+	}
+	return val
+}
+
+// Render rasterizes the scene at the given resolution.
+func (s *Scene) Render(w, h int) *Image {
+	im := New(w, h)
+	for y := 0; y < h; y++ {
+		v := float64(y) / float64(h-1)
+		for x := 0; x < w; x++ {
+			u := float64(x) / float64(w-1)
+			im.Pix[y*w+x] = s.Intensity(u, v)
+		}
+	}
+	im.Clamp()
+	return im
+}
+
+// SubjectPatch renders the distinctive texture of a subject as a small
+// square patch. Subjects are high-contrast radial/checker patterns keyed by
+// the SubjectID so that their gradient structure survives the perturbations
+// the generator applies (the analogue of a person's appearance surviving
+// viewpoint changes).
+func SubjectPatch(id SubjectID, size int) *Image {
+	rng := rand.New(rand.NewSource(int64(id)*40503 + 977))
+	freq := 2 + rng.Float64()*3
+	twist := rng.Float64() * 4
+	checker := 3 + rng.Intn(4)
+	phase := rng.Float64() * 2 * math.Pi
+
+	p := New(size, size)
+	c := float64(size-1) / 2
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			dx, dy := (float64(x)-c)/c, (float64(y)-c)/c
+			r := math.Sqrt(dx*dx + dy*dy)
+			theta := math.Atan2(dy, dx)
+			radial := math.Sin(2*math.Pi*freq*r + twist*theta + phase)
+			chk := math.Sin(float64(checker)*math.Pi*dx) * math.Sin(float64(checker)*math.Pi*dy)
+			v := 0.5 + 0.35*radial + 0.25*chk
+			// Soften toward the patch border so the composite blends in.
+			fade := 1.0
+			if r > 0.8 {
+				fade = math.Max(0, (1-r)/0.2)
+			}
+			p.Pix[y*size+x] = 0.5 + (v-0.5)*fade
+		}
+	}
+	p.Clamp()
+	return p
+}
+
+// Composite blends patch into im centered at (cx, cy) with the given opacity
+// (0..1). Blending is alpha-style: out = (1-a)*bg + a*patch.
+func Composite(im, patch *Image, cx, cy int, opacity float64) {
+	if opacity < 0 {
+		opacity = 0
+	} else if opacity > 1 {
+		opacity = 1
+	}
+	x0 := cx - patch.W/2
+	y0 := cy - patch.H/2
+	for py := 0; py < patch.H; py++ {
+		for px := 0; px < patch.W; px++ {
+			x, y := x0+px, y0+py
+			if x < 0 || x >= im.W || y < 0 || y >= im.H {
+				continue
+			}
+			bg := im.Pix[y*im.W+x]
+			im.Pix[y*im.W+x] = (1-opacity)*bg + opacity*patch.Pix[py*patch.W+px]
+		}
+	}
+}

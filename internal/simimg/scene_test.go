@@ -1,0 +1,172 @@
+package simimg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSceneDeterministic(t *testing.T) {
+	a := NewScene(42).Render(32, 32)
+	b := NewScene(42).Render(32, 32)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("scene 42 render differs at pixel %d", i)
+		}
+	}
+}
+
+func TestScenesDiffer(t *testing.T) {
+	a := NewScene(1).Render(32, 32)
+	b := NewScene(2).Render(32, 32)
+	mad, err := MAD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad < 0.01 {
+		t.Errorf("different scenes nearly identical: MAD = %v", mad)
+	}
+}
+
+func TestSceneHasTexture(t *testing.T) {
+	im := NewScene(7).Render(64, 64)
+	if im.Stddev() < 0.02 {
+		t.Errorf("scene too flat for interest-point detection: stddev = %v", im.Stddev())
+	}
+}
+
+func TestSubjectPatchDeterministicAndDistinct(t *testing.T) {
+	a := SubjectPatch(5, 16)
+	b := SubjectPatch(5, 16)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("subject patch is not deterministic")
+		}
+	}
+	c := SubjectPatch(6, 16)
+	mad, _ := MAD(a, c)
+	if mad < 0.01 {
+		t.Errorf("different subjects nearly identical: MAD = %v", mad)
+	}
+}
+
+func TestCompositeChangesPixels(t *testing.T) {
+	im := New(32, 32)
+	patch := SubjectPatch(3, 8)
+	Composite(im, patch, 16, 16, 1)
+	changed := false
+	for _, v := range im.Pix {
+		if v != 0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("Composite left the image untouched")
+	}
+	// Opacity 0 must leave the background alone.
+	bg := New(8, 8)
+	Composite(bg, patch, 4, 4, 0)
+	for i, v := range bg.Pix {
+		if v != 0 {
+			t.Fatalf("opacity-0 composite wrote pixel %d = %v", i, v)
+		}
+	}
+}
+
+func TestCompositeClipsAtBorder(t *testing.T) {
+	im := New(8, 8)
+	patch := SubjectPatch(1, 8)
+	// Center far outside: must not panic, and must not write anything.
+	Composite(im, patch, -100, -100, 1)
+	for _, v := range im.Pix {
+		if v != 0 {
+			t.Fatal("out-of-frame composite wrote pixels")
+		}
+	}
+	// Partially overlapping is fine.
+	Composite(im, patch, 0, 0, 1)
+}
+
+func TestRenderPhotoGroundTruth(t *testing.T) {
+	scene := NewScene(9)
+	rng := rand.New(rand.NewSource(1))
+	p := RenderPhoto(100, scene, PhotoParams{Resolution: 48, Severity: 0.2, Subjects: []SubjectID{11, 12}}, rng)
+	if p.ID != 100 || p.Scene != 9 {
+		t.Errorf("photo identity wrong: %+v", p)
+	}
+	if !p.ContainsSubject(11) || !p.ContainsSubject(12) || p.ContainsSubject(13) {
+		t.Errorf("subject ground truth wrong: %v", p.Subjects)
+	}
+	if p.Img.W != 48 || p.Img.H != 48 {
+		t.Errorf("resolution = %dx%d, want 48x48", p.Img.W, p.Img.H)
+	}
+	if p.SizeBytes <= 0 {
+		t.Errorf("SizeBytes = %d, want > 0", p.SizeBytes)
+	}
+}
+
+func TestRenderPhotoSimilarityOrdering(t *testing.T) {
+	// Two photos of the same scene should be more alike than photos of
+	// different scenes, at moderate severity.
+	sceneA, sceneB := NewScene(20), NewScene(21)
+	rng := rand.New(rand.NewSource(2))
+	p1 := RenderPhoto(1, sceneA, PhotoParams{Resolution: 48, Severity: 0.15}, rng)
+	p2 := RenderPhoto(2, sceneA, PhotoParams{Resolution: 48, Severity: 0.15}, rng)
+	p3 := RenderPhoto(3, sceneB, PhotoParams{Resolution: 48, Severity: 0.15}, rng)
+	same, _ := MAD(p1.Img, p2.Img)
+	diff, _ := MAD(p1.Img, p3.Img)
+	if same >= diff {
+		t.Errorf("same-scene MAD %v >= cross-scene MAD %v", same, diff)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if JPEG.String() != "jpeg" || BMP.String() != "bmp" || GIF.String() != "gif" {
+		t.Error("Format.String mismatch")
+	}
+	if Format(9).String() == "" {
+		t.Error("unknown format should still stringify")
+	}
+}
+
+func TestPerturbationIdentity(t *testing.T) {
+	im := NewScene(3).Render(32, 32)
+	rng := rand.New(rand.NewSource(3))
+	out := (Perturbation{Scale: 1, Contrast: 1}).Apply(im, rng)
+	mad, _ := MAD(im, out)
+	if mad > 1e-9 {
+		t.Errorf("identity perturbation changed image: MAD = %v", mad)
+	}
+}
+
+func TestPerturbationSeverityMonotone(t *testing.T) {
+	im := NewScene(4).Render(48, 48)
+	rng := rand.New(rand.NewSource(4))
+	mild := RandomPerturbation(rng, 0.1).Apply(im, rng)
+	harsh := RandomPerturbation(rng, 1.0).Apply(im, rng)
+	mMild, _ := MAD(im, mild)
+	mHarsh, _ := MAD(im, harsh)
+	if mMild >= mHarsh {
+		t.Errorf("severity 0.1 MAD %v >= severity 1.0 MAD %v", mMild, mHarsh)
+	}
+}
+
+func TestDownsampleAndResize(t *testing.T) {
+	im := NewScene(5).Render(64, 64)
+	half := Downsample(im, 2)
+	if half.W != 32 || half.H != 32 {
+		t.Fatalf("Downsample dims = %dx%d, want 32x32", half.W, half.H)
+	}
+	same := Downsample(im, 1)
+	if same.W != 64 {
+		t.Errorf("factor-1 downsample should clone")
+	}
+	r := Resize(im, 20, 30)
+	if r.W != 20 || r.H != 30 {
+		t.Fatalf("Resize dims = %dx%d, want 20x30", r.W, r.H)
+	}
+	// Means should be roughly preserved by box downsampling.
+	if d := im.Mean() - half.Mean(); d > 0.02 || d < -0.02 {
+		t.Errorf("downsample changed mean by %v", d)
+	}
+}

@@ -1,0 +1,274 @@
+// Package workload generates the evaluation datasets and query sets. It is
+// the stand-in for the paper's 60-million-image crowd-sourced corpus
+// (Table II): two datasets named after Wuhan (16 landmarks, 21M photos,
+// 62.7 TB) and Shanghai (22 landmarks, 39M photos, 152.5 TB), scaled down
+// by a configurable factor for laptop-scale runs.
+//
+// Every photo is rendered by the simimg substrate from a landmark scene
+// with a randomly drawn perturbation; a configurable fraction of photos
+// additionally contains "subject" patches (the missing children of the use
+// case). Because the generator records which photos contain which subjects
+// and scenes, retrieval ground truth is exact.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// Spec describes a dataset to generate.
+type Spec struct {
+	Name         string
+	Scenes       int     // number of landmark scenes
+	Photos       int     // total photos
+	Subjects     int     // distinct subject identities
+	SubjectRate  float64 // fraction of photos containing a subject
+	Resolution   int     // raster size; 0 means 64
+	MeanSeverity float64 // average perturbation severity; 0 means 0.12
+	Seed         int64
+	SceneBase    simimg.SceneID // first scene ID (keeps datasets disjoint)
+}
+
+// DefaultScale is the down-scaling factor applied to the paper's photo
+// counts for laptop-scale runs (1:10000 → 2100 and 3900 photos).
+const DefaultScale = 10000
+
+// Wuhan returns the Wuhan dataset spec scaled down by scale (0 selects
+// DefaultScale). The paper's corpus: 16 landmarks, 21M photos.
+func Wuhan(scale int) Spec {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	return Spec{
+		Name:        "Wuhan",
+		Scenes:      16,
+		Photos:      21_000_000 / scale,
+		Subjects:    12,
+		SubjectRate: 0.2,
+		Seed:        101,
+		SceneBase:   1000,
+	}
+}
+
+// Shanghai returns the Shanghai dataset spec scaled down by scale
+// (0 selects DefaultScale). The paper's corpus: 22 landmarks, 39M photos.
+func Shanghai(scale int) Spec {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	return Spec{
+		Name:        "Shanghai",
+		Scenes:      22,
+		Photos:      39_000_000 / scale,
+		Subjects:    16,
+		SubjectRate: 0.2,
+		Seed:        202,
+		SceneBase:   2000,
+	}
+}
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Resolution == 0 {
+		s.Resolution = 64
+	}
+	if s.MeanSeverity == 0 {
+		s.MeanSeverity = 0.12
+	}
+	if s.Scenes < 1 || s.Photos < 1 {
+		return s, fmt.Errorf("workload: spec needs scenes and photos, got %+v", s)
+	}
+	if s.SubjectRate < 0 || s.SubjectRate > 1 {
+		return s, fmt.Errorf("workload: subject rate %v out of [0,1]", s.SubjectRate)
+	}
+	return s, nil
+}
+
+// Dataset is a generated corpus with ground truth.
+type Dataset struct {
+	Spec       Spec
+	Photos     []*simimg.Photo
+	BySubject  map[simimg.SubjectID][]uint64 // subject -> photo IDs
+	ByScene    map[simimg.SceneID][]uint64   // scene -> photo IDs
+	TotalBytes int64                         // simulated original corpus size
+}
+
+// Generate renders the dataset. Photos are generated deterministically from
+// the spec seed; generation parallelizes across GOMAXPROCS workers.
+func Generate(spec Spec) (*Dataset, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Spec:      spec,
+		Photos:    make([]*simimg.Photo, spec.Photos),
+		BySubject: make(map[simimg.SubjectID][]uint64),
+		ByScene:   make(map[simimg.SceneID][]uint64),
+	}
+	scenes := make([]*simimg.Scene, spec.Scenes)
+	for i := range scenes {
+		scenes[i] = simimg.NewScene(spec.SceneBase + simimg.SceneID(i))
+	}
+
+	// Pre-draw per-photo parameters sequentially for determinism, then
+	// render in parallel.
+	type job struct {
+		idx    int
+		scene  *simimg.Scene
+		params simimg.PhotoParams
+		seed   int64
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	jobs := make([]job, spec.Photos)
+	for i := range jobs {
+		scene := scenes[rng.Intn(len(scenes))]
+		var subjects []simimg.SubjectID
+		if spec.Subjects > 0 && rng.Float64() < spec.SubjectRate {
+			subjects = append(subjects, subjectID(spec, rng.Intn(spec.Subjects)))
+			// Occasionally two subjects share a frame.
+			if rng.Float64() < 0.1 {
+				subjects = append(subjects, subjectID(spec, rng.Intn(spec.Subjects)))
+			}
+		}
+		sev := spec.MeanSeverity * (0.5 + rng.Float64())
+		if sev > 1 {
+			sev = 1
+		}
+		jobs[i] = job{
+			idx:   i,
+			scene: scene,
+			params: simimg.PhotoParams{
+				Resolution: spec.Resolution,
+				Severity:   sev,
+				Subjects:   subjects,
+			},
+			seed: rng.Int63(),
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				prng := rand.New(rand.NewSource(j.seed))
+				ds.Photos[j.idx] = simimg.RenderPhoto(photoID(spec, j.idx), j.scene, j.params, prng)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	for _, p := range ds.Photos {
+		ds.TotalBytes += p.SizeBytes
+		ds.ByScene[p.Scene] = append(ds.ByScene[p.Scene], p.ID)
+		for _, s := range p.Subjects {
+			ds.BySubject[s] = append(ds.BySubject[s], p.ID)
+		}
+	}
+	return ds, nil
+}
+
+// photoID gives photos globally unique IDs across datasets.
+func photoID(spec Spec, idx int) uint64 {
+	return uint64(spec.SceneBase)*10_000_000 + uint64(idx) + 1
+}
+
+// subjectID namespaces subjects per dataset.
+func subjectID(spec Spec, i int) simimg.SubjectID {
+	return simimg.SubjectID(uint64(spec.SceneBase)*1000 + uint64(i) + 1)
+}
+
+// PhotoByID returns the photo with the given ID, or nil.
+func (d *Dataset) PhotoByID(id uint64) *simimg.Photo {
+	base := photoID(d.Spec, 0)
+	idx := int(id - base)
+	if idx < 0 || idx >= len(d.Photos) {
+		return nil
+	}
+	return d.Photos[idx]
+}
+
+// FreshPhoto renders a brand-new photo of one of the dataset's scenes,
+// deterministically in (id, seed). Insertion experiments use it to extend a
+// built index with photos the corpus has never seen.
+func (d *Dataset) FreshPhoto(id uint64, seed int64) *simimg.Photo {
+	rng := rand.New(rand.NewSource(seed ^ int64(id)*0x9e3779b9))
+	scene := simimg.NewScene(d.Spec.SceneBase + simimg.SceneID(rng.Intn(d.Spec.Scenes)))
+	return simimg.RenderPhoto(id, scene, simimg.PhotoParams{
+		Resolution: d.Spec.Resolution,
+		Severity:   d.Spec.MeanSeverity,
+	}, rng)
+}
+
+// Query is one retrieval task. The probe is a fresh photograph correlated
+// with a corpus photo (a re-take of the same scene, possibly showing the
+// same subjects — e.g. the photo the missing child's parents took at the
+// park entrance). Relevant is the scene-level ground truth: the corpus
+// photos of the same location, which is the correlated group FAST must
+// narrow the search to. Subjects carries the probe's subject IDs so the
+// use case can post-verify which retrieved photos actually contain the
+// child (the paper's human post-verification step).
+type Query struct {
+	Scene    simimg.SceneID
+	Subjects []simimg.SubjectID
+	Probe    *simimg.Image
+	Relevant map[uint64]bool
+	// SubjectRelevant maps each probe subject to the corpus photos
+	// containing it (across all scenes).
+	SubjectRelevant map[simimg.SubjectID]map[uint64]bool
+}
+
+// Queries builds n queries. Each query re-renders a randomly chosen corpus
+// photo's scene and subjects under a fresh mild perturbation, so the probe
+// is a near-duplicate of the corpus group without being byte-identical to
+// any stored photo. Queries are deterministic in the seed.
+func (d *Dataset) Queries(n int, seed int64) ([]Query, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: query count must be positive, got %d", n)
+	}
+	if len(d.Photos) == 0 {
+		return nil, fmt.Errorf("workload: dataset %q is empty", d.Spec.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		target := d.Photos[rng.Intn(len(d.Photos))]
+		scene := simimg.NewScene(target.Scene)
+		probe := simimg.RenderPhoto(0, scene, simimg.PhotoParams{
+			Resolution: d.Spec.Resolution,
+			Severity:   0.08,
+			Subjects:   target.Subjects,
+		}, rng)
+		relevant := make(map[uint64]bool, len(d.ByScene[target.Scene]))
+		for _, id := range d.ByScene[target.Scene] {
+			relevant[id] = true
+		}
+		subjRel := make(map[simimg.SubjectID]map[uint64]bool, len(target.Subjects))
+		for _, s := range target.Subjects {
+			m := make(map[uint64]bool, len(d.BySubject[s]))
+			for _, id := range d.BySubject[s] {
+				m[id] = true
+			}
+			subjRel[s] = m
+		}
+		out = append(out, Query{
+			Scene:           target.Scene,
+			Subjects:        append([]simimg.SubjectID(nil), target.Subjects...),
+			Probe:           probe.Img,
+			Relevant:        relevant,
+			SubjectRelevant: subjRel,
+		})
+	}
+	return out, nil
+}

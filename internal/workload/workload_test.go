@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name:        "test",
+		Scenes:      4,
+		Photos:      40,
+		Subjects:    3,
+		SubjectRate: 0.5,
+		Resolution:  48,
+		Seed:        7,
+		SceneBase:   500,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ds, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(ds.Photos) != 40 {
+		t.Fatalf("got %d photos, want 40", len(ds.Photos))
+	}
+	if ds.TotalBytes <= 0 {
+		t.Error("TotalBytes not positive")
+	}
+	ids := make(map[uint64]bool)
+	for i, p := range ds.Photos {
+		if p == nil {
+			t.Fatalf("photo %d is nil", i)
+		}
+		if p.Img.W != 48 {
+			t.Errorf("photo %d resolution %d, want 48", i, p.Img.W)
+		}
+		if ids[p.ID] {
+			t.Fatalf("duplicate photo ID %d", p.ID)
+		}
+		ids[p.ID] = true
+		if p.Scene < 500 || p.Scene >= 504 {
+			t.Errorf("photo %d scene %d outside dataset range", i, p.Scene)
+		}
+	}
+	// Ground-truth indexes agree with photo metadata.
+	for sid, idList := range ds.BySubject {
+		for _, id := range idList {
+			p := ds.PhotoByID(id)
+			if p == nil || !p.ContainsSubject(sid) {
+				t.Fatalf("BySubject[%d] lists photo %d which does not contain it", sid, id)
+			}
+		}
+	}
+	total := 0
+	for _, idList := range ds.ByScene {
+		total += len(idList)
+	}
+	if total != 40 {
+		t.Errorf("ByScene covers %d photos, want 40", total)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Photos {
+		if a.Photos[i].ID != b.Photos[i].ID || a.Photos[i].Scene != b.Photos[i].Scene {
+			t.Fatalf("metadata differs at photo %d", i)
+		}
+		mad, _ := simimg.MAD(a.Photos[i].Img, b.Photos[i].Img)
+		if mad != 0 {
+			t.Fatalf("pixels differ at photo %d (MAD %v)", i, mad)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+	bad := smallSpec()
+	bad.SubjectRate = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("bad subject rate should fail")
+	}
+}
+
+func TestSpecPresets(t *testing.T) {
+	w := Wuhan(0)
+	s := Shanghai(0)
+	if w.Photos != 2100 || s.Photos != 3900 {
+		t.Errorf("default-scale photo counts = %d, %d; want 2100, 3900", w.Photos, s.Photos)
+	}
+	if w.Scenes != 16 || s.Scenes != 22 {
+		t.Errorf("landmark counts = %d, %d; want 16, 22 (Table II)", w.Scenes, s.Scenes)
+	}
+	w2 := Wuhan(1_000_000)
+	if w2.Photos != 21 {
+		t.Errorf("scaled Wuhan photos = %d, want 21", w2.Photos)
+	}
+	if w.SceneBase == s.SceneBase {
+		t.Error("datasets share scene namespaces")
+	}
+}
+
+func TestPhotoByID(t *testing.T) {
+	ds, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ds.Photos[5]
+	if got := ds.PhotoByID(p.ID); got != p {
+		t.Error("PhotoByID did not return the photo")
+	}
+	if ds.PhotoByID(1) != nil {
+		t.Error("absent ID should return nil")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	ds, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ds.Queries(10, 3)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries, want 10", len(qs))
+	}
+	for i, q := range qs {
+		if q.Probe == nil {
+			t.Fatalf("query %d has nil probe", i)
+		}
+		if len(q.Relevant) == 0 {
+			t.Fatalf("query %d has empty relevant set", i)
+		}
+		for id := range q.Relevant {
+			p := ds.PhotoByID(id)
+			if p == nil || p.Scene != q.Scene {
+				t.Fatalf("query %d relevant photo %d not from scene %d", i, id, q.Scene)
+			}
+		}
+		for sid, rel := range q.SubjectRelevant {
+			for id := range rel {
+				p := ds.PhotoByID(id)
+				if p == nil || !p.ContainsSubject(sid) {
+					t.Fatalf("query %d subject %d lists photo %d without it", i, sid, id)
+				}
+			}
+		}
+	}
+	// Determinism.
+	qs2, _ := ds.Queries(10, 3)
+	for i := range qs {
+		if qs[i].Scene != qs2[i].Scene {
+			t.Fatal("queries not deterministic")
+		}
+	}
+}
+
+func TestQueriesValidation(t *testing.T) {
+	ds, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Queries(0, 1); err == nil {
+		t.Error("zero queries should fail")
+	}
+	empty := &Dataset{Spec: smallSpec()}
+	if _, err := empty.Queries(5, 1); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
