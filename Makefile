@@ -1,0 +1,35 @@
+# Developer entry points mirroring the CI pipeline (.github/workflows/ci.yml).
+# `make ci` runs the same gate the workflow enforces on every push/PR.
+
+GO ?= go
+
+.PHONY: build test race vet bench fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector multiplies runtime ~10x, so restrict it to the internal
+# packages (where all shared mutable state lives) and the -short variants of
+# the churn tests.
+race:
+	$(GO) test -race -short -timeout=30m ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Bench smoke: one iteration of every benchmark proves the measurement
+# harness still compiles and runs; it is not a performance gate.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check build vet test race bench
+	@echo "ci: all checks passed"

@@ -6,9 +6,12 @@
 package fast_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/fastrepro/fast/internal/baseline"
 	"github.com/fastrepro/fast/internal/bloom"
@@ -230,6 +233,47 @@ func BenchmarkFig7ParallelLookup(b *testing.B) {
 				flat.LookupBatch(batch, workers)
 			}
 			b.ReportMetric(float64(len(batch)), "lookups/op")
+		})
+	}
+}
+
+// --- Sharded concurrent query engine: batch throughput ---
+
+// BenchmarkQueryParallel drives the full query pipeline through
+// Engine.QueryBatch at 1, 4 and GOMAXPROCS workers, reporting end-to-end
+// queries/sec. On a multicore host the sharded index structures let the
+// worker pool scale with cores; batch results stay byte-identical to the
+// sequential path at every worker count (enforced by the core tests).
+func BenchmarkQueryParallel(b *testing.B) {
+	ds, qs := benchData(b)
+	eng := core.NewEngine(core.Config{})
+	if _, err := eng.Build(ds.Photos); err != nil {
+		b.Fatal(err)
+	}
+	imgs := make([]*simimg.Image, len(qs))
+	for i, q := range qs {
+		imgs[i] = q.Probe
+	}
+	workerCounts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for _, br := range eng.QueryBatch(imgs, 50, workers, nil) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(imgs))/elapsed.Seconds(), "queries/sec")
+			}
 		})
 	}
 }

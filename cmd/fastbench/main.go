@@ -5,8 +5,10 @@
 //	fastbench -exp fig6
 //	fastbench -exp all -scale 10000 -queries 25
 //
-// Experiment IDs: table2, fig3, fig4, table3, table4, fig5, fig6, fig7,
-// fig8a, fig8b, ablation.
+// Experiment IDs: table1, table2, fig3, fig4, table3, table4, fig5, fig6,
+// fig7, qps, fig8a, fig8b, ablation. The qps experiment reports end-to-end
+// queries/sec of the sharded concurrent engine (Engine.QueryBatch) at
+// increasing worker counts.
 package main
 
 import (

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// BatchResult is one query's outcome within a QueryBatch call, positionally
+// aligned with the input probes.
+type BatchResult struct {
+	Results []SearchResult
+	Err     error
+	Latency time.Duration // wall time of this query, including FE+SM
+}
+
+// QueryBatch answers many probe images concurrently by fanning them across
+// a pool of workers (0 means GOMAXPROCS). Each worker pulls the next
+// unclaimed probe and runs the full single-query pipeline on it with one
+// scoring thread, so parallelism comes from query-level fan-out over the
+// sharded index structures rather than from splitting one query — the
+// serving shape of the paper's 500-concurrent-client evaluation.
+//
+// Results are deterministic: every query is processed exactly as a
+// sequential Query call would process it, so result IDs, scores and ranking
+// are identical to the sequential path regardless of the worker count.
+//
+// Per-query latency is recorded into lat when it is non-nil; failed queries
+// carry their error in the corresponding BatchResult and record no sample.
+func (e *Engine) QueryBatch(imgs []*simimg.Image, topK, workers int, lat *metrics.Histogram) []BatchResult {
+	out := make([]BatchResult, len(imgs))
+	if len(imgs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(imgs) {
+		workers = len(imgs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(imgs) {
+					return
+				}
+				t0 := time.Now()
+				res, err := e.QueryParallel(imgs[i], topK, 1)
+				d := time.Since(t0)
+				out[i] = BatchResult{Results: res, Err: err, Latency: d}
+				if err == nil && lat != nil {
+					lat.Record(d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

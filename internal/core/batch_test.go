@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// TestQueryBatchMatchesSequential is the shard-determinism contract: over
+// the seed workload, QueryBatch at any worker count must return exactly the
+// sequential Query results — same IDs, same scores, same ordering — for
+// every probe.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	qs, err := ds.Queries(10, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*simimg.Image, len(qs))
+	for i, q := range qs {
+		imgs[i] = q.Probe
+	}
+
+	want := make([][]SearchResult, len(imgs))
+	for i, img := range imgs {
+		res, err := e.Query(img, 50)
+		if err != nil {
+			t.Fatalf("sequential Query %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	for _, workers := range []int{0, 1, 3, 8} {
+		hist := metrics.NewHistogram()
+		batch := e.QueryBatch(imgs, 50, workers, hist)
+		if len(batch) != len(imgs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(batch), len(imgs))
+		}
+		for i, br := range batch {
+			if br.Err != nil {
+				t.Fatalf("workers=%d query %d: %v", workers, i, br.Err)
+			}
+			if len(br.Results) != len(want[i]) {
+				t.Fatalf("workers=%d query %d: %d hits, sequential returned %d",
+					workers, i, len(br.Results), len(want[i]))
+			}
+			for j := range br.Results {
+				if br.Results[j] != want[i][j] {
+					t.Fatalf("workers=%d query %d: result %d = %+v, sequential %+v",
+						workers, i, j, br.Results[j], want[i][j])
+				}
+			}
+			if br.Latency <= 0 {
+				t.Errorf("workers=%d query %d: non-positive latency", workers, i)
+			}
+		}
+		if got := hist.Count(); got != int64(len(imgs)) {
+			t.Errorf("workers=%d: histogram has %d samples, want %d", workers, got, len(imgs))
+		}
+	}
+}
+
+// TestQueryBatchEmptyAndErrors covers the edge shapes: empty batch, and a
+// batch against an unbuilt engine reporting per-query errors without
+// recording latency samples.
+func TestQueryBatchEmptyAndErrors(t *testing.T) {
+	e := NewEngine(Config{})
+	if out := e.QueryBatch(nil, 10, 4, nil); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+	hist := metrics.NewHistogram()
+	imgs := []*simimg.Image{simimg.New(32, 32), simimg.New(32, 32)}
+	out := e.QueryBatch(imgs, 10, 2, hist)
+	for i, br := range out {
+		if br.Err == nil {
+			t.Errorf("query %d against unbuilt engine succeeded", i)
+		}
+	}
+	if hist.Count() != 0 {
+		t.Errorf("failed queries recorded %d latency samples", hist.Count())
+	}
+}

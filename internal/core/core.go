@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fastrepro/fast/internal/bloom"
@@ -139,6 +140,23 @@ type entry struct {
 	summary *bloom.Sparse
 }
 
+// simStripeCount is the number of independently updated SimCost counter
+// stripes (a power of two). Queries accumulate their charges in a local,
+// allocation-free scratch SimCost and flush it with one stripe visit, so
+// the former global simMu bottleneck is gone: concurrent queries touch
+// different stripes and never serialize on the accounting.
+const simStripeCount = 8
+
+// simStripe is one cache-line-isolated slice of the simulated-cost
+// counters; all fields are updated atomically.
+type simStripe struct {
+	storageNS atomic.Int64
+	computeNS atomic.Int64
+	accesses  atomic.Int64
+	bytes     atomic.Int64
+	_         [4]int64 // pad to a full cache line against false sharing
+}
+
 // Engine is the FAST index.
 type Engine struct {
 	cfg Config
@@ -150,9 +168,9 @@ type Engine struct {
 	entries []entry // table values are indexes into this slice
 	byID    map[uint64]int
 
-	ram   store.DiskModel // cost model for the in-memory index
-	simMu sync.Mutex      // guards sim (queries under RLock also charge it)
-	sim   SimCost
+	ram     store.DiskModel // cost model for the in-memory index
+	simTick atomic.Uint32   // round-robins charges across stripes
+	sim     [simStripeCount]simStripe
 }
 
 // NewEngine returns an unbuilt engine; Build must run before Query/Insert.
@@ -195,14 +213,47 @@ func (e *Engine) Build(photos []*simimg.Photo) (BuildStats, error) {
 }
 
 // Insert adds one photo to a built index. It implements Pipeline.
+//
+// Feature extraction and summarization — the expensive, read-only front
+// half of the pipeline — run outside the engine lock, so concurrent inserts
+// only serialize on the short SA+CHS store step and queries keep flowing
+// while new photos are being prepared.
 func (e *Engine) Insert(p *simimg.Photo) error {
+	e.mu.RLock()
+	pca := e.pcasift
+	e.mu.RUnlock()
+	if pca == nil {
+		return errors.New("core: engine not built")
+	}
+	sparse, _, err := e.prepare(pca, p.Img)
+	if err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.pcasift == nil {
 		return errors.New("core: engine not built")
 	}
-	_, err := e.insertLocked(p)
-	return err
+	return e.storeLocked(p.ID, sparse)
+}
+
+// prepare runs FE+SM for one image against the given trained basis. It
+// reads no mutable engine state, so callers may run it without holding the
+// engine lock.
+func (e *Engine) prepare(pca *feature.PCASIFT, img *simimg.Image) (*bloom.Sparse, int, error) {
+	_, descs, err := pca.DescribeAll(img, e.cfg.Detect)
+	if err != nil {
+		return nil, 0, err
+	}
+	vecs := make([][]float64, len(descs))
+	for i, d := range descs {
+		vecs[i] = d
+	}
+	filter, err := bloom.Summarize(vecs, e.cfg.Summary)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bloom.ToSparse(filter), len(descs), nil
 }
 
 // insertLocked runs FE -> SM -> SA -> CHS for one photo.
@@ -331,11 +382,14 @@ func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]Sear
 	slots := e.table.LookupBatch(keys, workers)
 
 	// Charge the candidate summary fetches to the in-memory cost model
-	// (constant work per candidate: this is the O(1) flat addressing).
+	// (constant work per candidate: this is the O(1) flat addressing). The
+	// charges accumulate in a per-query scratch and flush once at the end,
+	// so concurrent queries never contend on the accounting.
+	var qc SimCost
 	for _, s := range slots {
 		if s.Found {
 			sz := int64(e.entries[s.Value].summary.SizeBytes())
-			e.chargeSim(e.ram.RandomRead(sz), sz)
+			qc.charge(e.ram.RandomRead(sz), sz)
 		}
 	}
 
@@ -423,7 +477,7 @@ func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]Sear
 				if err != nil || sim < e.cfg.MinScore {
 					continue
 				}
-				e.chargeSim(e.ram.RandomRead(int64(e.entries[gslot].summary.SizeBytes())), 0)
+				qc.charge(e.ram.RandomRead(int64(e.entries[gslot].summary.SizeBytes())), 0)
 				inResult[id] = true
 				// Member score: affinity to the group representative,
 				// discounted by the representative's own probe score.
@@ -436,6 +490,7 @@ func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]Sear
 	if len(kept) > topK {
 		kept = kept[:topK]
 	}
+	e.flushSim(qc)
 	return append([]SearchResult(nil), kept...), nil
 }
 
@@ -490,6 +545,20 @@ func (e *Engine) TableStats() cuckoo.Stats {
 	return e.table.Stats()
 }
 
+// Shards reports the lock-shard counts of the two index structures (per
+// LSH band, and for the flat cuckoo table); (0, 0) before Build.
+func (e *Engine) Shards() (lshShards, tableShards int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.index != nil {
+		lshShards = e.index.Shards()
+	}
+	if e.table != nil {
+		tableShards = e.table.Shards()
+	}
+	return lshShards, tableShards
+}
+
 // LSHStats exposes LSH bucket occupancy.
 func (e *Engine) LSHStats() lsh.BucketStats {
 	e.mu.RLock()
@@ -502,18 +571,44 @@ func (e *Engine) LSHStats() lsh.BucketStats {
 
 // chargeSim records one modeled storage access.
 func (e *Engine) chargeSim(latency time.Duration, bytes int64) {
-	e.simMu.Lock()
-	e.sim.StorageTime += latency
-	e.sim.Accesses++
-	e.sim.BytesMoved += bytes
-	e.simMu.Unlock()
+	s := &e.sim[e.simTick.Add(1)&(simStripeCount-1)]
+	s.storageNS.Add(int64(latency))
+	s.accesses.Add(1)
+	s.bytes.Add(bytes)
 }
 
-// SimCost implements Pipeline.
+// charge accumulates one modeled storage access into a per-query scratch
+// SimCost (stack-allocated by the caller; no locks, no allocations).
+func (c *SimCost) charge(latency time.Duration, bytes int64) {
+	c.StorageTime += latency
+	c.Accesses++
+	c.BytesMoved += bytes
+}
+
+// flushSim folds a per-query scratch SimCost into the striped counters with
+// a single stripe visit.
+func (e *Engine) flushSim(c SimCost) {
+	if c.Accesses == 0 && c.StorageTime == 0 && c.ComputeTime == 0 && c.BytesMoved == 0 {
+		return
+	}
+	s := &e.sim[e.simTick.Add(1)&(simStripeCount-1)]
+	s.storageNS.Add(int64(c.StorageTime))
+	s.computeNS.Add(int64(c.ComputeTime))
+	s.accesses.Add(c.Accesses)
+	s.bytes.Add(c.BytesMoved)
+}
+
+// SimCost implements Pipeline, summing the counter stripes.
 func (e *Engine) SimCost() SimCost {
-	e.simMu.Lock()
-	defer e.simMu.Unlock()
-	return e.sim
+	var c SimCost
+	for i := range e.sim {
+		s := &e.sim[i]
+		c.StorageTime += time.Duration(s.storageNS.Load())
+		c.ComputeTime += time.Duration(s.computeNS.Load())
+		c.Accesses += s.accesses.Load()
+		c.BytesMoved += s.bytes.Load()
+	}
+	return c
 }
 
 var _ Pipeline = (*Engine)(nil)

@@ -3,6 +3,9 @@ package core
 import (
 	"sync"
 	"testing"
+
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/simimg"
 )
 
 // TestConcurrentQueriesAndStats hammers the engine with parallel queries,
@@ -47,5 +50,85 @@ func TestConcurrentQueriesAndStats(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatalf("concurrent access error: %v", err)
+	}
+}
+
+// TestRaceQueryBatchWhileMutating drives QueryBatch against concurrent
+// Insert and Delete traffic plus stats readers — the serving shape after
+// the sharded-query-engine change. Iteration counts shrink under -short so
+// the -race CI job stays fast.
+func TestRaceQueryBatchWhileMutating(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	qs, err := ds.Queries(6, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*simimg.Image, len(qs))
+	for i, q := range qs {
+		imgs[i] = q.Probe
+	}
+	rounds, churn := 3, 6
+	if testing.Short() {
+		rounds, churn = 1, 2
+	}
+
+	hist := metrics.NewHistogram()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Two batch-query workers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, br := range e.QueryBatch(imgs, 25, 3, hist) {
+					if br.Err != nil {
+						errs <- br.Err
+						return
+					}
+				}
+			}
+		}()
+	}
+	// One writer inserting fresh photos and deleting them again.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churn; i++ {
+			id := uint64(2_000_000 + i)
+			if err := e.Insert(ds.FreshPhoto(id, int64(i))); err != nil {
+				errs <- err
+				return
+			}
+			if i%2 == 0 {
+				if err := e.Delete(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	// One stats reader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds*4; i++ {
+			_ = e.SimCost()
+			_ = e.TableStats()
+			_ = e.LSHStats()
+			_ = e.IndexBytes()
+			_ = e.Len()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent batch/mutate error: %v", err)
+	}
+	if hist.Count() == 0 {
+		t.Error("no batch latency recorded")
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"github.com/fastrepro/fast/internal/shard"
 )
 
 // Flat is FAST's flat-structured cuckoo table with adjacent neighboring
@@ -14,25 +16,54 @@ import (
 // probe 2*(Neighborhood+1) cells — a constant — and the probes are
 // independent, which is what exposes the query parallelism Figure 7
 // exploits on multicore machines.
+//
+// Concurrency: the cell array is partitioned into independently locked
+// sub-tables (shards, a power of two near GOMAXPROCS). A key's shard is
+// derived from a hash independent of its in-shard home buckets, so both
+// homes, all neighbor cells and any kick chain stay within one shard — a
+// single lock acquisition per operation, and operations on different shards
+// never contend. Small tables collapse to one shard (sharding a few
+// thousand cells would only raise the load variance).
 type Flat struct {
+	shards []flatShard
+	nu     int // neighborhood width ν
+}
+
+// flatShard is one independently locked sub-table.
+type flatShard struct {
+	mu       sync.RWMutex
 	cells    []KeyValue
 	stash    []KeyValue // overflow for items whose kick chain exhausted
 	mask     uint64
 	n        int
-	nu       int // neighborhood width ν
+	nu       int
 	maxKicks int
 	rng      *rand.Rand
 	stats    Stats
-	mu       sync.RWMutex
 }
 
 // DefaultNeighborhood is the ν used by the FAST prototype experiments.
 const DefaultNeighborhood = 4
 
+// flatShardMinCells is the smallest per-shard cell count the automatic
+// policy allows: below this, hashing imbalance across shards would push
+// individual shards to materially higher load factors than the table-wide
+// average (raising the rehash probability the flat design exists to
+// suppress), and the lock being split buys nothing.
+const flatShardMinCells = 4096
+
 // NewFlat creates a flat-structured table with at least capacity cells.
 // neighborhood < 0 is invalid; 0 degenerates to standard two-home cuckoo
-// (useful for ablations). maxKicks 0 selects DefaultMaxKicks.
+// (useful for ablations). maxKicks 0 selects DefaultMaxKicks. The shard
+// count is chosen automatically (see NewFlatShards).
 func NewFlat(capacity, neighborhood, maxKicks int, seed int64) (*Flat, error) {
+	return NewFlatShards(capacity, neighborhood, maxKicks, seed, 0)
+}
+
+// NewFlatShards is NewFlat with an explicit shard count: a power of two,
+// or 0 to derive it from GOMAXPROCS and the table size. Each shard must
+// keep more cells than the neighborhood width.
+func NewFlatShards(capacity, neighborhood, maxKicks int, seed int64, shards int) (*Flat, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("cuckoo: capacity must be positive, got %d", capacity)
 	}
@@ -46,80 +77,152 @@ func NewFlat(capacity, neighborhood, maxKicks int, seed int64) (*Flat, error) {
 	if neighborhood >= size {
 		return nil, fmt.Errorf("cuckoo: neighborhood %d >= table size %d", neighborhood, size)
 	}
-	return &Flat{
-		cells:    make([]KeyValue, size),
-		mask:     uint64(size - 1),
-		nu:       neighborhood,
-		maxKicks: maxKicks,
-		rng:      rand.New(rand.NewSource(seed)),
-	}, nil
+	if shards == 0 {
+		shards = shard.Count(size, flatShardMinCells)
+	}
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("cuckoo: shard count %d is not a power of two", shards)
+	}
+	for shards > 1 && size/shards <= neighborhood {
+		shards >>= 1
+	}
+	perShard := size / shards
+	if perShard < 2 {
+		perShard = 2
+	}
+	t := &Flat{shards: make([]flatShard, shards), nu: neighborhood}
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.cells = make([]KeyValue, perShard)
+		sh.mask = uint64(perShard - 1)
+		sh.nu = neighborhood
+		sh.maxKicks = maxKicks
+		sh.rng = rand.New(rand.NewSource(seed + int64(s)*0x9e3779b9))
+	}
+	return t, nil
+}
+
+// shardOf returns the sub-table responsible for key. The shard hash stream
+// is independent of the in-shard home hashes (hashPair), so partitioning
+// does not correlate with bucket placement.
+func (t *Flat) shardOf(key uint64) *flatShard {
+	if len(t.shards) == 1 {
+		return &t.shards[0]
+	}
+	return &t.shards[shard.Index(mix(key^0x94d049bb133111eb), len(t.shards))]
 }
 
 // Neighborhood returns ν.
 func (t *Flat) Neighborhood() int { return t.nu }
 
+// Shards returns the number of independently locked sub-tables.
+func (t *Flat) Shards() int { return len(t.shards) }
+
 // Len returns the number of stored entries.
 func (t *Flat) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.n
+	n := 0
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.RLock()
+		n += sh.n
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Cap returns the number of cells.
-func (t *Flat) Cap() int { return len(t.cells) }
+func (t *Flat) Cap() int {
+	return len(t.shards) * len(t.shards[0].cells)
+}
 
-// Stats returns cumulative statistics.
+// Stats returns cumulative statistics aggregated over all shards.
 func (t *Flat) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.stats
+	var total Stats
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.RLock()
+		st := sh.stats
+		sh.mu.RUnlock()
+		total.Inserts += st.Inserts
+		total.Failures += st.Failures
+		total.Kicks += st.Kicks
+		total.Probes += st.Probes
+		total.Lookups += st.Lookups
+		total.NeighborHits += st.NeighborHits
+		if st.MaxChain > total.MaxChain {
+			total.MaxChain = st.MaxChain
+		}
+	}
+	return total
 }
 
 // LoadFactor returns n / capacity.
 func (t *Flat) LoadFactor() float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return float64(t.n) / float64(len(t.cells))
+	return float64(t.Len()) / float64(t.Cap())
 }
 
 // ProbeWidth returns the constant number of cells a lookup examines.
 func (t *Flat) ProbeWidth() int { return 2 * (t.nu + 1) }
 
-// probeCells yields the candidate cell indices for key: each home followed
-// by its ν neighbors.
-func (t *Flat) probeCells(key uint64) []uint64 {
-	b1, b2 := hashPair(key, t.mask)
-	cells := make([]uint64, 0, t.ProbeWidth())
-	for d := 0; d <= t.nu; d++ {
-		cells = append(cells, (b1+uint64(d))&t.mask)
+// probeCells yields the candidate cell indices for key within the shard:
+// each home followed by its ν neighbors.
+func (sh *flatShard) probeCells(key uint64) []uint64 {
+	b1, b2 := hashPair(key, sh.mask)
+	cells := make([]uint64, 0, 2*(sh.nu+1))
+	for d := 0; d <= sh.nu; d++ {
+		cells = append(cells, (b1+uint64(d))&sh.mask)
 	}
-	for d := 0; d <= t.nu; d++ {
-		cells = append(cells, (b2+uint64(d))&t.mask)
+	for d := 0; d <= sh.nu; d++ {
+		cells = append(cells, (b2+uint64(d))&sh.mask)
 	}
 	return cells
 }
 
-// Lookup probes the constant-width candidate set. It takes the write lock
-// because it updates the probe statistics; for contention-free concurrent
-// reads use LookupBatch, which skips the counters.
+// Lookup probes the constant-width candidate set. It takes the shard's
+// write lock because it updates the probe statistics; for contention-free
+// concurrent reads use LookupBatch, which skips the counters.
 func (t *Flat) Lookup(key uint64) (uint64, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.lookupLocked(key)
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lookupLocked(key)
 }
 
-func (t *Flat) lookupLocked(key uint64) (uint64, bool) {
-	t.stats.Lookups++
-	for _, c := range t.probeCells(key) {
-		t.stats.Probes++
-		if t.cells[c].Key == key {
-			return t.cells[c].Value, true
+func (sh *flatShard) lookupLocked(key uint64) (uint64, bool) {
+	sh.stats.Lookups++
+	for _, c := range sh.probeCells(key) {
+		sh.stats.Probes++
+		if sh.cells[c].Key == key {
+			return sh.cells[c].Value, true
 		}
 	}
-	for i := range t.stash {
-		t.stats.Probes++
-		if t.stash[i].Key == key {
-			return t.stash[i].Value, true
+	for i := range sh.stash {
+		sh.stats.Probes++
+		if sh.stash[i].Key == key {
+			return sh.stash[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// lookupRead is the counter-free read-only probe used by LookupBatch.
+func (sh *flatShard) lookupRead(key uint64) (uint64, bool) {
+	b1, b2 := hashPair(key, sh.mask)
+	for d := 0; d <= sh.nu; d++ {
+		c := (b1 + uint64(d)) & sh.mask
+		if sh.cells[c].Key == key {
+			return sh.cells[c].Value, true
+		}
+	}
+	for d := 0; d <= sh.nu; d++ {
+		c := (b2 + uint64(d)) & sh.mask
+		if sh.cells[c].Key == key {
+			return sh.cells[c].Value, true
+		}
+	}
+	for i := range sh.stash {
+		if sh.stash[i].Key == key {
+			return sh.stash[i].Value, true
 		}
 	}
 	return 0, false
@@ -135,79 +238,84 @@ func (t *Flat) Insert(key, value uint64) error {
 	if key == 0 {
 		return errors.New("cuckoo: key 0 is reserved")
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.insertLocked(key, value)
+}
 
+func (sh *flatShard) insertLocked(key, value uint64) error {
 	cur := KeyValue{Key: key, Value: value}
 	chain := 0
-	for i := 0; i <= t.maxKicks; i++ {
-		cells := t.probeCells(cur.Key)
+	for i := 0; i <= sh.maxKicks; i++ {
+		cells := sh.probeCells(cur.Key)
 		if chain == 0 {
 			// Replace in place. (A displaced victim's key is never present
 			// in the table — it is in hand — so this only applies before
 			// the first eviction.)
 			for _, c := range cells {
-				if t.cells[c].Key == cur.Key {
-					t.cells[c].Value = cur.Value
+				if sh.cells[c].Key == cur.Key {
+					sh.cells[c].Value = cur.Value
 					return nil
 				}
 			}
-			for i := range t.stash {
-				if t.stash[i].Key == cur.Key {
-					t.stash[i].Value = cur.Value
+			for i := range sh.stash {
+				if sh.stash[i].Key == cur.Key {
+					sh.stash[i].Value = cur.Value
 					return nil
 				}
 			}
 		}
 		// Empty cell anywhere in the flat neighborhood.
 		for ci, c := range cells {
-			if t.cells[c].Key == 0 {
-				t.cells[c] = cur
-				t.n++
-				t.stats.Inserts++
-				if ci != 0 && ci != t.nu+1 {
-					t.stats.NeighborHits++
+			if sh.cells[c].Key == 0 {
+				sh.cells[c] = cur
+				sh.n++
+				sh.stats.Inserts++
+				if ci != 0 && ci != sh.nu+1 {
+					sh.stats.NeighborHits++
 				}
-				if chain > t.stats.MaxChain {
-					t.stats.MaxChain = chain
+				if chain > sh.stats.MaxChain {
+					sh.stats.MaxChain = chain
 				}
 				return nil
 			}
 		}
-		if i == t.maxKicks {
+		if i == sh.maxKicks {
 			break
 		}
 		// Evict a pseudo-random candidate and continue with the victim.
-		victim := cells[t.rng.Intn(len(cells))]
-		cur, t.cells[victim] = t.cells[victim], cur
+		victim := cells[sh.rng.Intn(len(cells))]
+		cur, sh.cells[victim] = sh.cells[victim], cur
 		chain++
-		t.stats.Kicks++
+		sh.stats.Kicks++
 	}
 	// Park the unplaced item in the stash: the insertion completes, but the
 	// rehash event is still reported (and counted in Stats.Failures).
-	t.stash = append(t.stash, cur)
-	t.n++
-	t.stats.Inserts++
-	t.stats.Failures++
-	return fmt.Errorf("%w: key %d after %d kicks", ErrTableFull, cur.Key, t.maxKicks)
+	sh.stash = append(sh.stash, cur)
+	sh.n++
+	sh.stats.Inserts++
+	sh.stats.Failures++
+	return fmt.Errorf("%w: key %d after %d kicks", ErrTableFull, cur.Key, sh.maxKicks)
 }
 
 // Delete removes key if present.
 func (t *Flat) Delete(key uint64) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, c := range t.probeCells(key) {
-		if t.cells[c].Key == key {
-			t.cells[c] = KeyValue{}
-			t.n--
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, c := range sh.probeCells(key) {
+		if sh.cells[c].Key == key {
+			sh.cells[c] = KeyValue{}
+			sh.n--
 			return true
 		}
 	}
-	for i := range t.stash {
-		if t.stash[i].Key == key {
-			t.stash[i] = t.stash[len(t.stash)-1]
-			t.stash = t.stash[:len(t.stash)-1]
-			t.n--
+	for i := range sh.stash {
+		if sh.stash[i].Key == key {
+			sh.stash[i] = sh.stash[len(sh.stash)-1]
+			sh.stash = sh.stash[:len(sh.stash)-1]
+			sh.n--
 			return true
 		}
 	}
@@ -217,8 +325,10 @@ func (t *Flat) Delete(key uint64) bool {
 // LookupBatch resolves many keys concurrently using up to workers
 // goroutines (0 means GOMAXPROCS). Results are positionally aligned with
 // keys; missing keys yield (0, false). This is the multicore parallel-query
-// path of Figure 7: because every lookup touches a constant, independent
-// set of cells, throughput scales nearly linearly with cores.
+// path of Figure 7: every lookup touches a constant, independent set of
+// cells inside one shard, so worker goroutines only serialize when two keys
+// land on the same shard at the same instant, and throughput scales nearly
+// linearly with cores.
 func (t *Flat) LookupBatch(keys []uint64, workers int) []LookupResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -230,8 +340,6 @@ func (t *Flat) LookupBatch(keys []uint64, workers int) []LookupResult {
 	if len(keys) == 0 {
 		return results
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var wg sync.WaitGroup
 	chunk := (len(keys) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -248,19 +356,12 @@ func (t *Flat) LookupBatch(keys []uint64, workers int) []LookupResult {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				// Probe without touching shared stats (read-only scan).
-				for _, c := range t.probeCells(keys[i]) {
-					if t.cells[c].Key == keys[i] {
-						results[i] = LookupResult{Value: t.cells[c].Value, Found: true}
-						break
-					}
-				}
-				if !results[i].Found {
-					for s := range t.stash {
-						if t.stash[s].Key == keys[i] {
-							results[i] = LookupResult{Value: t.stash[s].Value, Found: true}
-							break
-						}
-					}
+				sh := t.shardOf(keys[i])
+				sh.mu.RLock()
+				v, ok := sh.lookupRead(keys[i])
+				sh.mu.RUnlock()
+				if ok {
+					results[i] = LookupResult{Value: v, Found: true}
 				}
 			}
 		}(lo, hi)

@@ -6,21 +6,27 @@ import (
 )
 
 // Range calls fn for every stored entry; iteration stops if fn returns
-// false. The table must not be mutated during iteration.
+// false. Shards are visited in order, each under its read lock; the table
+// must not be mutated from within fn.
 func (t *Flat) Range(fn func(key, value uint64) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, c := range t.cells {
-		if c.Key != 0 {
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.RLock()
+		for _, c := range sh.cells {
+			if c.Key != 0 {
+				if !fn(c.Key, c.Value) {
+					sh.mu.RUnlock()
+					return
+				}
+			}
+		}
+		for _, c := range sh.stash {
 			if !fn(c.Key, c.Value) {
+				sh.mu.RUnlock()
 				return
 			}
 		}
-	}
-	for _, c := range t.stash {
-		if !fn(c.Key, c.Value) {
-			return
-		}
+		sh.mu.RUnlock()
 	}
 }
 

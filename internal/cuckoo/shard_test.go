@@ -1,0 +1,137 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestFlatShardsRoundTrip forces a multi-shard table (independent of the
+// host's GOMAXPROCS) and checks that the sharded layout preserves the flat
+// table's semantics.
+func TestFlatShardsRoundTrip(t *testing.T) {
+	tb, err := NewFlatShards(1<<14, DefaultNeighborhood, 0, 1, 4)
+	if err != nil {
+		t.Fatalf("NewFlatShards: %v", err)
+	}
+	if tb.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", tb.Shards())
+	}
+	if tb.Cap() != 1<<14 {
+		t.Fatalf("Cap = %d, want %d", tb.Cap(), 1<<14)
+	}
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64() | 1
+		if err := tb.Insert(keys[i], uint64(i)); err != nil {
+			t.Fatalf("Insert(%d): %v", keys[i], err)
+		}
+	}
+	if tb.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v, ok := tb.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, v, ok, i)
+		}
+	}
+	res := tb.LookupBatch(keys, 4)
+	for i, r := range res {
+		if !r.Found || r.Value != uint64(i) {
+			t.Fatalf("batch lookup %d = %+v", i, r)
+		}
+	}
+	if !tb.Delete(keys[0]) || tb.Delete(keys[0]) {
+		t.Error("delete semantics broken on sharded table")
+	}
+	if tb.Len() != len(keys)-1 {
+		t.Errorf("Len after delete = %d", tb.Len())
+	}
+}
+
+// TestFlatShardsStatsAggregate checks that stats sum across shards and that
+// a miss still probes exactly ProbeWidth cells (within one shard).
+func TestFlatShardsStatsAggregate(t *testing.T) {
+	tb, err := NewFlatShards(1<<14, 4, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tb.Stats().Probes
+	tb.Lookup(987654321) // miss, empty stash
+	if got := tb.Stats().Probes - before; got != tb.ProbeWidth() {
+		t.Errorf("miss probed %d cells, want %d", got, tb.ProbeWidth())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		if err := tb.Insert(rng.Uint64()|1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := tb.Stats(); st.Inserts != 1000 {
+		t.Errorf("aggregated Inserts = %d, want 1000", st.Inserts)
+	}
+}
+
+// TestFlatShardsValidation covers the explicit-shard constructor's argument
+// checks.
+func TestFlatShardsValidation(t *testing.T) {
+	if _, err := NewFlatShards(1<<14, 4, 0, 1, 3); err == nil {
+		t.Error("non-power-of-two shard count should fail")
+	}
+	// A shard count that would make per-shard size <= neighborhood is
+	// reduced, not rejected.
+	tb, err := NewFlatShards(64, 4, 0, 1, 64)
+	if err != nil {
+		t.Fatalf("oversized shard count: %v", err)
+	}
+	if tb.Cap()/tb.Shards() <= tb.Neighborhood() {
+		t.Errorf("shard size %d not reduced below neighborhood %d",
+			tb.Cap()/tb.Shards(), tb.Neighborhood())
+	}
+}
+
+// TestFlatShardsConcurrent hammers a multi-shard table with mixed inserts,
+// deletes, lookups and batch lookups; run under -race to validate the
+// per-shard locking.
+func TestFlatShardsConcurrent(t *testing.T) {
+	tb, err := NewFlatShards(1<<15, DefaultNeighborhood, 0, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perWorker = 400
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			keys := make([]uint64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				k := rng.Uint64() | 1
+				keys = append(keys, k)
+				switch w % 3 {
+				case 0:
+					_ = tb.Insert(k, uint64(i))
+				case 1:
+					_, _ = tb.Lookup(k)
+					_ = tb.Stats()
+				case 2:
+					_ = tb.Insert(k, uint64(i))
+					_ = tb.Delete(k)
+				}
+			}
+			tb.LookupBatch(keys, 2)
+		}(w)
+	}
+	wg.Wait()
+	// Workers 0 and 3 inserted and kept their keys; verify a sample.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < perWorker; i++ {
+		k := rng.Uint64() | 1
+		if _, ok := tb.Lookup(k); !ok {
+			t.Fatalf("key %d from worker 0 lost", k)
+		}
+	}
+}

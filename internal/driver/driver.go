@@ -29,11 +29,12 @@ type Driver struct {
 
 // DriverResult aggregates a replay.
 type DriverResult struct {
-	Latency  metrics.Summary
-	Recall   float64 // mean scene recall over all queries
-	Queries  int
-	Failures int // queries that returned an error
-	Elapsed  time.Duration
+	Latency    metrics.Summary
+	Recall     float64 // mean scene recall over all queries
+	Queries    int
+	Failures   int     // queries that returned an error
+	Throughput float64 // completed queries per second of wall time
+	Elapsed    time.Duration
 }
 
 // Run replays the queries against p. Geo hints are attached for tag-based
@@ -112,11 +113,81 @@ func (d Driver) Run(p core.Pipeline, ds *workload.Dataset, queries []workload.Qu
 	close(work)
 	wg.Wait()
 
+	elapsed := time.Since(start)
 	return DriverResult{
-		Latency:  lat.Summarize(),
-		Recall:   acc.Mean(),
-		Queries:  len(queries),
-		Failures: failures,
-		Elapsed:  time.Since(start),
+		Latency:    lat.Summarize(),
+		Recall:     acc.Mean(),
+		Queries:    len(queries),
+		Failures:   failures,
+		Throughput: throughput(len(queries)-failures, elapsed),
+		Elapsed:    elapsed,
+	}, nil
+}
+
+// throughput converts a completion count and wall time into queries/sec.
+func throughput(completed int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(completed) / elapsed.Seconds()
+}
+
+// RunBatch replays the queries through the engine's batch path: one
+// QueryBatch call fans the whole stream across a worker pool sized by
+// Clients, with per-query latency recorded into a metrics.Histogram (the
+// fixed-memory collector long-running drivers use) instead of the
+// sample-keeping Latency. Results are identical to per-query Search calls;
+// only the concurrency shape differs — this is the path a serving front-end
+// uses after the sharded-query-engine change.
+//
+// The geo-hint resolution of Run is skipped: the FAST engine is
+// content-based and ignores hints.
+func (d Driver) RunBatch(e *core.Engine, ds *workload.Dataset, queries []workload.Query) (DriverResult, error) {
+	if e == nil || ds == nil {
+		return DriverResult{}, fmt.Errorf("workload: batch driver needs an engine and dataset")
+	}
+	if len(queries) == 0 {
+		return DriverResult{}, fmt.Errorf("workload: driver needs at least one query")
+	}
+	clients := d.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	topK := d.TopK
+	if topK <= 0 {
+		topK = 50
+	}
+
+	imgs := make([]*simimg.Image, len(queries))
+	for i, q := range queries {
+		imgs[i] = q.Probe
+	}
+
+	hist := metrics.NewHistogram()
+	start := time.Now()
+	batch := e.QueryBatch(imgs, topK, clients, hist)
+	elapsed := time.Since(start)
+
+	var acc metrics.Accuracy
+	failures := 0
+	for i, br := range batch {
+		if br.Err != nil {
+			failures++
+			continue
+		}
+		ids := make([]uint64, len(br.Results))
+		for j, r := range br.Results {
+			ids[j] = r.ID
+		}
+		acc.Add(metrics.ScoreRetrieval(ids, queries[i].Relevant).Recall())
+	}
+
+	return DriverResult{
+		Latency:    hist.Summarize(),
+		Recall:     acc.Mean(),
+		Queries:    len(queries),
+		Failures:   failures,
+		Throughput: throughput(len(queries)-failures, elapsed),
+		Elapsed:    elapsed,
 	}, nil
 }

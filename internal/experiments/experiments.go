@@ -192,6 +192,7 @@ func All() []Experiment {
 		{"fig5", "Figure 5: insertion latency", RunFig5},
 		{"fig6", "Figure 6: insertion failure (rehash) probability", RunFig6},
 		{"fig7", "Figure 7: multicore-enabled parallel queries", RunFig7},
+		{"qps", "Throughput: sharded concurrent query engine (QueryBatch)", RunThroughput},
 		{"fig8a", "Figure 8a: network transmission overhead", RunFig8a},
 		{"fig8b", "Figure 8b: smartphone energy consumption", RunFig8b},
 		{"ablation", "Ablations: design-choice sweeps", RunAblation},

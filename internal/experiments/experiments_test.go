@@ -16,8 +16,8 @@ func tinyEnv() (*Env, *bytes.Buffer) {
 
 func TestAllRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
 	}
 	for _, ex := range all {
 		got, err := ByID(ex.ID)
@@ -127,6 +127,19 @@ func TestRunFig7(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "speedup") {
 		t.Error("Fig7 output missing speedup column")
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	e, buf := tinyEnv()
+	if err := RunThroughput(e); err != nil {
+		t.Fatalf("RunThroughput: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"queries/sec", "speedup", "shard"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("qps output missing %q", want)
+		}
 	}
 }
 

@@ -37,15 +37,18 @@ func (idx *Index) Delete(id ItemID, v []float64) (bool, error) {
 
 // Delete removes item id from the MinHash index; set must be the element
 // set it was inserted with. It reports whether the item was found in at
-// least one band.
+// least one band. Like Insert and Query it locks only the shard the band
+// key lands on, so deletions run concurrently with queries.
 func (mh *MinHash) Delete(id ItemID, set []uint32) (bool, error) {
 	if len(set) == 0 {
 		return false, fmt.Errorf("lsh: cannot minhash an empty set (item %d)", id)
 	}
 	removed := false
-	for b := range mh.tables {
+	for b := range mh.bands {
 		k := mh.signature(b, set)
-		bucket := mh.tables[b][k]
+		sh := mh.shardOf(b, k)
+		sh.mu.Lock()
+		bucket := sh.m[k]
 		for i, got := range bucket {
 			if got == id {
 				bucket[i] = bucket[len(bucket)-1]
@@ -55,13 +58,14 @@ func (mh *MinHash) Delete(id ItemID, set []uint32) (bool, error) {
 			}
 		}
 		if len(bucket) == 0 {
-			delete(mh.tables[b], k)
+			delete(sh.m, k)
 		} else {
-			mh.tables[b][k] = bucket
+			sh.m[k] = bucket
 		}
+		sh.mu.Unlock()
 	}
 	if removed {
-		mh.n--
+		mh.n.Add(-1)
 	}
 	return removed, nil
 }

@@ -3,6 +3,10 @@ package lsh
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/fastrepro/fast/internal/shard"
 )
 
 // MinHash is the Jaccard-space LSH family: the collision probability of a
@@ -20,11 +24,31 @@ import (
 // MinHash banding a usable operating point (see MinHashParams for the
 // default choice) — the behaviour the paper's evaluation attributes to its
 // SA module. Both families are exercised by the ablation benchmarks.
+//
+// Concurrency: each band's bucket map is split into independently locked
+// shards (selected by the high bits of the band key), so concurrent Query,
+// Insert and Delete calls only contend when they land on the same shard of
+// the same band. A MinHash is safe for concurrent use without external
+// locking.
 type MinHash struct {
 	params MinHashParams
 	seeds  [][]uint64 // [band][row]
-	tables []map[uint64][]ItemID
-	n      int
+	bands  []bandTable
+	n      atomic.Int64
+}
+
+// bandTable is one band's sharded bucket map.
+type bandTable struct {
+	shards []minhashShard
+}
+
+// minhashShard is one independently locked slice of a band's key space.
+type minhashShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]ItemID
+	// pad the shard to its own cache line so neighboring locks do not
+	// false-share under concurrent queries.
+	_ [24]byte
 }
 
 // MinHashParams configures a MinHash index.
@@ -60,6 +84,7 @@ func NewMinHash(params MinHashParams) (*MinHash, error) {
 		return nil, fmt.Errorf("lsh: invalid minhash params %+v", params)
 	}
 	mh := &MinHash{params: params}
+	nShards := shard.Count(0, 0)
 	state := uint64(params.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	for b := 0; b < params.Bands; b++ {
 		rows := make([]uint64, params.Rows)
@@ -68,7 +93,11 @@ func NewMinHash(params MinHashParams) (*MinHash, error) {
 			rows[r] = state
 		}
 		mh.seeds = append(mh.seeds, rows)
-		mh.tables = append(mh.tables, make(map[uint64][]ItemID))
+		shards := make([]minhashShard, nShards)
+		for s := range shards {
+			shards[s].m = make(map[uint64][]ItemID)
+		}
+		mh.bands = append(mh.bands, bandTable{shards: shards})
 	}
 	return mh, nil
 }
@@ -85,7 +114,13 @@ func splitmix(x uint64) uint64 {
 func (mh *MinHash) Params() MinHashParams { return mh.params }
 
 // Len returns the number of inserted items.
-func (mh *MinHash) Len() int { return mh.n }
+func (mh *MinHash) Len() int { return int(mh.n.Load()) }
+
+// shardOf returns the shard holding key within band b.
+func (mh *MinHash) shardOf(b int, key uint64) *minhashShard {
+	tb := &mh.bands[b]
+	return &tb.shards[shard.Index(key, len(tb.shards))]
+}
 
 // signature computes the band key for the given element set.
 func (mh *MinHash) signature(band int, set []uint32) uint64 {
@@ -116,11 +151,14 @@ func (mh *MinHash) Insert(id ItemID, set []uint32) error {
 	if len(set) == 0 {
 		return fmt.Errorf("lsh: cannot minhash an empty set (item %d)", id)
 	}
-	for b := range mh.tables {
+	for b := range mh.bands {
 		k := mh.signature(b, set)
-		mh.tables[b][k] = append(mh.tables[b][k], id)
+		sh := mh.shardOf(b, k)
+		sh.mu.Lock()
+		sh.m[k] = append(sh.m[k], id)
+		sh.mu.Unlock()
 	}
-	mh.n++
+	mh.n.Add(1)
 	return nil
 }
 
@@ -132,14 +170,17 @@ func (mh *MinHash) Query(set []uint32) ([]ItemID, error) {
 	}
 	seen := make(map[ItemID]struct{})
 	var out []ItemID
-	for b := range mh.tables {
+	for b := range mh.bands {
 		k := mh.signature(b, set)
-		for _, id := range mh.tables[b][k] {
+		sh := mh.shardOf(b, k)
+		sh.mu.RLock()
+		for _, id := range sh.m[k] {
 			if _, dup := seen[id]; !dup {
 				seen[id] = struct{}{}
 				out = append(out, id)
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	return out, nil
 }
@@ -147,19 +188,32 @@ func (mh *MinHash) Query(set []uint32) ([]ItemID, error) {
 // Stats aggregates bucket occupancy across bands.
 func (mh *MinHash) Stats() BucketStats {
 	var st BucketStats
-	for _, tb := range mh.tables {
-		for _, b := range tb {
-			st.Buckets++
-			st.TotalRefs += len(b)
-			if len(b) > st.MaxLen {
-				st.MaxLen = len(b)
+	for b := range mh.bands {
+		for s := range mh.bands[b].shards {
+			sh := &mh.bands[b].shards[s]
+			sh.mu.RLock()
+			for _, bucket := range sh.m {
+				st.Buckets++
+				st.TotalRefs += len(bucket)
+				if len(bucket) > st.MaxLen {
+					st.MaxLen = len(bucket)
+				}
 			}
+			sh.mu.RUnlock()
 		}
 	}
 	if st.Buckets > 0 {
 		st.MeanLen = float64(st.TotalRefs) / float64(st.Buckets)
 	}
 	return st
+}
+
+// Shards returns the number of independently locked shards per band.
+func (mh *MinHash) Shards() int {
+	if len(mh.bands) == 0 {
+		return 0
+	}
+	return len(mh.bands[0].shards)
 }
 
 // MinHashCollisionProb returns the probability that two sets with Jaccard

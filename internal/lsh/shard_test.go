@@ -1,0 +1,115 @@
+package lsh
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMinHashShardedConcurrent runs mixed Insert/Query/Delete/Stats traffic
+// against one MinHash index; run under -race to validate the per-shard
+// locking discipline.
+func TestMinHashShardedConcurrent(t *testing.T) {
+	mh, err := NewMinHash(MinHashParams{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Shards() < 1 {
+		t.Fatalf("Shards = %d", mh.Shards())
+	}
+	mkSet := func(rng *rand.Rand) []uint32 {
+		set := make([]uint32, 48)
+		for i := range set {
+			set[i] = uint32(rng.Intn(4096))
+		}
+		return set
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				set := mkSet(rng)
+				id := ItemID(w*1000 + i)
+				switch w % 3 {
+				case 0:
+					if err := mh.Insert(id, set); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := mh.Query(set); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = mh.Stats()
+					_ = mh.Len()
+				case 2:
+					if err := mh.Insert(id, set); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := mh.Delete(id, set); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Workers 0 and 3 each inserted 200 and deleted nothing; workers 2 and
+	// 5 inserted and deleted in pairs.
+	if got := mh.Len(); got != 400 {
+		t.Errorf("Len = %d after concurrent churn, want 400", got)
+	}
+}
+
+// TestMinHashQueryDeterministicOrder re-checks first-seen candidate order
+// under the sharded layout: the query result must not depend on shard
+// topology, only on band order.
+func TestMinHashQueryDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	build := func() *MinHash {
+		mh, err := NewMinHash(MinHashParams{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mh
+	}
+	a, b := build(), build()
+	sets := make([][]uint32, 300)
+	for i := range sets {
+		set := make([]uint32, 64)
+		for j := range set {
+			set[j] = uint32(rng.Intn(2048))
+		}
+		sets[i] = set
+		if err := a.Insert(ItemID(i), set); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Insert(ItemID(i), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		ra, err := a.Query(sets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Query(sets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("query %d: %d vs %d candidates", i, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("query %d: order diverges at %d (%d vs %d)", i, j, ra[j], rb[j])
+			}
+		}
+	}
+}

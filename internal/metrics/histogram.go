@@ -81,13 +81,17 @@ func (h *Histogram) Mean() time.Duration {
 // resolution: the upper edge of the bucket containing that rank. Empty
 // histograms return 0.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
 	if q < 0 {
 		q = 0
 	} else if q > 1 {
 		q = 1
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -105,6 +109,27 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return h.max
+}
+
+// Summarize renders the histogram as a Summary compatible with the
+// sample-keeping Latency collector. Count, Mean, Min, Max and Total are
+// exact; the order statistics are bucket-resolution upper bounds.
+func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var s Summary
+	s.Count = int(h.count)
+	if h.count == 0 {
+		return s
+	}
+	s.Total = h.sum
+	s.Mean = h.sum / time.Duration(h.count)
+	s.Min = h.min
+	s.Max = h.max
+	s.Median = h.quantileLocked(0.5)
+	s.P90 = h.quantileLocked(0.9)
+	s.P99 = h.quantileLocked(0.99)
+	return s
 }
 
 // String renders a compact text histogram, one line per occupied bucket.

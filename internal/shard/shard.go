@@ -1,0 +1,50 @@
+// Package shard centralizes the shard-count policy used by the concurrent
+// index structures (the LSH bucket maps and the flat cuckoo table): a
+// structure is split into N independently locked shards, with N a power of
+// two near GOMAXPROCS, so concurrent readers and writers touching different
+// shards never contend on the same lock.
+package shard
+
+import "runtime"
+
+// MaxShards bounds the automatic shard count; beyond this the per-shard
+// lock cost outweighs the contention win on any realistic host.
+const MaxShards = 64
+
+// Count returns the shard count for a structure with the given number of
+// addressable units (cells, buckets, ...): the smallest power of two that is
+// >= GOMAXPROCS, clamped to [1, MaxShards], and further reduced so that each
+// shard keeps at least minPerShard units. units <= 0 or minPerShard <= 0
+// disable the size-based reduction.
+func Count(units, minPerShard int) int {
+	n := ceilPow2(runtime.GOMAXPROCS(0))
+	if n > MaxShards {
+		n = MaxShards
+	}
+	if units > 0 && minPerShard > 0 {
+		for n > 1 && units/n < minPerShard {
+			n >>= 1
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to a power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Index maps an already-mixed 64-bit hash to a shard in [0, n) where n is a
+// power of two. It uses the high bits so structures that consume the low
+// bits for their own bucket addressing stay uncorrelated with the shard
+// choice.
+func Index(hash uint64, n int) int {
+	return int((hash >> 48) & uint64(n-1))
+}

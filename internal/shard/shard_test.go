@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCountIsPowerOfTwo(t *testing.T) {
+	for _, units := range []int{0, 1, 100, 1 << 20} {
+		n := Count(units, 4096)
+		if n < 1 || n&(n-1) != 0 {
+			t.Errorf("Count(%d, 4096) = %d, not a power of two >= 1", units, n)
+		}
+		if n > MaxShards {
+			t.Errorf("Count(%d, 4096) = %d exceeds MaxShards", units, n)
+		}
+	}
+}
+
+func TestCountNearGOMAXPROCS(t *testing.T) {
+	n := Count(1<<30, 1)
+	procs := runtime.GOMAXPROCS(0)
+	if n < 1 || (procs <= MaxShards && n < procs) {
+		t.Errorf("Count = %d below GOMAXPROCS %d with no size pressure", n, procs)
+	}
+	if n >= 2*procs && n > 1 {
+		t.Errorf("Count = %d not near GOMAXPROCS %d", n, procs)
+	}
+}
+
+func TestCountRespectsMinPerShard(t *testing.T) {
+	// 1000 units with at least 4096 per shard forces a single shard.
+	if n := Count(1000, 4096); n != 1 {
+		t.Errorf("Count(1000, 4096) = %d, want 1", n)
+	}
+	// Disabled floor keeps the GOMAXPROCS-derived count.
+	if a, b := Count(0, 0), Count(1<<30, 1); a != b {
+		t.Errorf("disabled floor changed count: %d vs %d", a, b)
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		seen := make(map[int]bool)
+		for h := uint64(0); h < 1<<16; h++ {
+			// Spread the hash across the high bits Index consumes.
+			i := Index(h<<48|h, n)
+			if i < 0 || i >= n {
+				t.Fatalf("Index out of range: %d for n=%d", i, n)
+			}
+			seen[i] = true
+		}
+		if n > 1 && len(seen) < 2 {
+			t.Errorf("Index never varied for n=%d", n)
+		}
+	}
+}
