@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench fmt-check ci
+.PHONY: build test race vet bench bench-ingest fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,13 @@ vet:
 # Bench smoke: one iteration of every benchmark proves the measurement
 # harness still compiles and runs; it is not a performance gate.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# Ingest throughput sweep: streams the Wuhan corpus through the staged
+# parallel pipeline (Engine.InsertBatch) at 1/4/GOMAXPROCS workers and
+# writes BENCH_ingest.json for artifact tracking.
+bench-ingest:
+	$(GO) run ./cmd/fastbench -exp ingest -scale 60000
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

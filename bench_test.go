@@ -278,6 +278,73 @@ func BenchmarkQueryParallel(b *testing.B) {
 	}
 }
 
+// --- Staged parallel ingest pipeline: build and batch-insert throughput ---
+
+// BenchmarkBuildParallel measures Engine.BuildParallel photos/sec at 1, 4
+// and GOMAXPROCS workers. The FE+SM front half runs on the worker pool while
+// the ordered committer keeps index contents byte-identical to the
+// sequential path (enforced by the core equivalence tests), so the spread
+// between worker counts is pure pipeline speedup.
+func BenchmarkBuildParallel(b *testing.B) {
+	ds, _ := benchData(b)
+	workerCounts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				eng := core.NewEngine(core.Config{})
+				if _, err := eng.BuildParallel(ds.Photos, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(ds.Photos))/elapsed.Seconds(), "photos/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkInsertBatch measures the streaming half of the pipeline: an
+// engine bootstrapped on half the corpus ingests the other half through
+// InsertBatch, which takes only short per-photo write sections so queries
+// can interleave.
+func BenchmarkInsertBatch(b *testing.B) {
+	ds, _ := benchData(b)
+	split := len(ds.Photos) / 2
+	workerCounts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := core.NewEngine(core.Config{TableCapacity: 2 * len(ds.Photos)})
+				if _, err := eng.BuildParallel(ds.Photos[:split], workers); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.InsertBatch(ds.Photos[split:], workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*(len(ds.Photos)-split))/elapsed.Seconds(), "photos/sec")
+			}
+		})
+	}
+}
+
 // --- Figure 8: smartphone-side dedup and chunking ---
 
 func BenchmarkFig8aDedupCheck(b *testing.B) {

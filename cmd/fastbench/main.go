@@ -6,15 +6,24 @@
 //	fastbench -exp all -scale 10000 -queries 25
 //
 // Experiment IDs: table1, table2, fig3, fig4, table3, table4, fig5, fig6,
-// fig7, qps, fig8a, fig8b, ablation. The qps experiment reports end-to-end
-// queries/sec of the sharded concurrent engine (Engine.QueryBatch) at
-// increasing worker counts.
+// fig7, qps, ingest, fig8a, fig8b, ablation. The qps experiment reports
+// end-to-end queries/sec of the sharded concurrent engine
+// (Engine.QueryBatch) at increasing worker counts; the ingest experiment
+// reports photos/sec of the staged parallel ingest pipeline
+// (Engine.InsertBatch) and writes BENCH_ingest.json to -artifacts.
+//
+// For performance work, -cpuprofile and -memprofile write standard pprof
+// profiles of the selected experiments:
+//
+//	fastbench -exp ingest -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,11 +32,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		scale   = flag.Int("scale", 20000, "downscale factor for the paper's photo counts")
-		queries = flag.Int("queries", 15, "real queries per accuracy cell")
-		seed    = flag.Int64("seed", 42, "workload seed")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		exp        = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		scale      = flag.Int("scale", 20000, "downscale factor for the paper's photo counts")
+		queries    = flag.Int("queries", 15, "real queries per accuracy cell")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		artifacts  = flag.String("artifacts", ".", "directory for machine-readable results (e.g. BENCH_ingest.json)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -38,11 +50,26 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastbench: creating CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fastbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	env := experiments.NewEnv(experiments.Options{
-		Scale:   *scale,
-		Queries: *queries,
-		Seed:    *seed,
-		Out:     os.Stdout,
+		Scale:       *scale,
+		Queries:     *queries,
+		Seed:        *seed,
+		Out:         os.Stdout,
+		ArtifactDir: *artifacts,
 	})
 
 	var toRun []experiments.Experiment
@@ -69,4 +96,18 @@ func main() {
 		fmt.Printf("\n[%s completed in %v]\n", ex.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastbench: creating heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fastbench: writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 }

@@ -17,6 +17,14 @@ import "math"
 // summaries an average Jaccard similarity of ~0.44 versus ~0.10 across
 // scenes — the separation the Summarization module relies on.
 func SubVectorTokens(v []float64, sub int, granularity float64) []uint64 {
+	return AppendSubVectorTokens(nil, v, sub, granularity)
+}
+
+// AppendSubVectorTokens appends the sub-vector tokens of v to dst and
+// returns the extended slice. It is the allocation-free form of
+// SubVectorTokens: callers that summarize many descriptors reuse one token
+// buffer (dst[:0]) across calls instead of allocating per descriptor.
+func AppendSubVectorTokens(dst []uint64, v []float64, sub int, granularity float64) []uint64 {
 	if sub <= 0 {
 		sub = 16
 	}
@@ -24,8 +32,14 @@ func SubVectorTokens(v []float64, sub int, granularity float64) []uint64 {
 		granularity = 0.5
 	}
 	groups := (len(v) + sub - 1) / sub
-	out := make([]uint64, 0, groups)
-	buf := make([]byte, 0, sub+2)
+	out := dst
+	// The quantized-group scratch lives on the stack at the default
+	// sub-vector width; oversized configurations fall back to the heap.
+	var arr [72]byte
+	buf := arr[:0]
+	if sub+2 > len(arr) {
+		buf = make([]byte, 0, sub+2)
+	}
 	for g := 0; g < groups; g++ {
 		buf = buf[:0]
 		buf = append(buf, byte(g), byte(g>>8))
@@ -81,15 +95,19 @@ func (c SummaryConfig) WithDefaults() SummaryConfig {
 }
 
 // Summarize builds the Bloom summary of a descriptor set under the given
-// configuration.
-func Summarize(descriptors [][]float64, cfg SummaryConfig) (*Filter, error) {
+// configuration. It is generic over the descriptor's float64-slice type so
+// callers holding []linalg.Vector (or any other named []float64) feed it
+// directly instead of reallocating a [][]float64 view.
+func Summarize[V ~[]float64](descriptors []V, cfg SummaryConfig) (*Filter, error) {
 	cfg = cfg.WithDefaults()
 	f, err := New(cfg.Bits, cfg.K)
 	if err != nil {
 		return nil, err
 	}
+	var tokens []uint64
 	for _, d := range descriptors {
-		f.AddTokens(SubVectorTokens(d, cfg.SubVector, cfg.Granularity))
+		tokens = AppendSubVectorTokens(tokens[:0], []float64(d), cfg.SubVector, cfg.Granularity)
+		f.AddTokens(tokens)
 	}
 	return f, nil
 }

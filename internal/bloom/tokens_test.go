@@ -102,6 +102,60 @@ func TestSummarizeAndConfigDefaults(t *testing.T) {
 	}
 }
 
+func TestSummarizeNamedSliceType(t *testing.T) {
+	// Summarize is generic over ~[]float64 so callers holding named vector
+	// types (e.g. linalg.Vector) can pass descriptors without copying. The
+	// summary must not depend on the element type's name.
+	type vec []float64
+	plain := [][]float64{
+		{0.9, 0.8, 0.7, 0.6},
+		{0.1, 0.2, 0.9, 0.9},
+		{0.55, -0.3, 1.2, 0.0},
+	}
+	named := make([]vec, len(plain))
+	for i, d := range plain {
+		named[i] = vec(append([]float64(nil), d...))
+	}
+	cfg := SummaryConfig{Bits: 256, K: 3, SubVector: 2, Granularity: 0.5}
+	a, err := Summarize(plain, cfg)
+	if err != nil {
+		t.Fatalf("Summarize([][]float64): %v", err)
+	}
+	b, err := Summarize(named, cfg)
+	if err != nil {
+		t.Fatalf("Summarize([]vec): %v", err)
+	}
+	if d, _ := HammingDistance(a, b); d != 0 {
+		t.Errorf("named slice type changed summary by %d bits", d)
+	}
+}
+
+func TestAppendSubVectorTokensReusesDst(t *testing.T) {
+	v := []float64{0.6, -0.3, 0.1, 0.9, 0.7, 0.2, 0.8, 0.4}
+	want := SubVectorTokens(v, 4, 0.5)
+	dst := make([]uint64, 0, 8)
+	got := AppendSubVectorTokens(dst, v, 4, 0.5)
+	if len(got) != len(want) {
+		t.Fatalf("append variant emitted %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d differs: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("AppendSubVectorTokens did not reuse the provided backing array")
+	}
+	// Sub-vector sizes beyond the stack scratch must still work (heap path).
+	big := make([]float64, 256)
+	for i := range big {
+		big[i] = 0.9
+	}
+	if toks := AppendSubVectorTokens(nil, big, 128, 0.5); len(toks) != 2 {
+		t.Errorf("large sub-vector emitted %d tokens, want 2", len(toks))
+	}
+}
+
 func TestAddTokens(t *testing.T) {
 	f, _ := New(512, 4)
 	toks := []uint64{1, 2, 3}

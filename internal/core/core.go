@@ -115,6 +115,12 @@ type Config struct {
 	// and a stored group member's summary recalls its groupmates far more
 	// reliably than the noisy probe). 0 means 8; negative disables.
 	GroupExpand int
+	// IngestWorkers is the worker count of the staged ingest pipeline that
+	// Build and InsertBatch fan feature extraction + summarization across.
+	// 0 means GOMAXPROCS; 1 selects the fully sequential path. Index
+	// contents are identical at every setting (the committer stores
+	// summaries in input order), so this is purely a throughput knob.
+	IngestWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -182,34 +188,11 @@ func NewEngine(cfg Config) *Engine {
 func (e *Engine) Name() string { return "FAST" }
 
 // Build trains the PCA basis on a sample of the corpus and indexes every
-// photo. It implements Pipeline.
+// photo through the staged ingest pipeline at the configured worker count
+// (Config.IngestWorkers; GOMAXPROCS by default). Index contents are
+// identical at every worker count. It implements Pipeline.
 func (e *Engine) Build(photos []*simimg.Photo) (BuildStats, error) {
-	var st BuildStats
-	if len(photos) == 0 {
-		return st, errors.New("core: empty corpus")
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
-	if err := e.trainLocked(photos); err != nil {
-		return st, err
-	}
-	if err := e.allocLocked(len(photos)); err != nil {
-		return st, err
-	}
-
-	for _, ph := range photos {
-		bs, err := e.insertLocked(ph)
-		if err != nil {
-			return st, fmt.Errorf("core: indexing photo %d: %w", ph.ID, err)
-		}
-		st.Photos++
-		st.FeatureTime += bs.FeatureTime
-		st.SummaryTime += bs.SummaryTime
-		st.IndexTime += bs.IndexTime
-		st.Descriptors += bs.Descriptors
-	}
-	return st, nil
+	return e.BuildParallel(photos, e.cfg.IngestWorkers)
 }
 
 // Insert adds one photo to a built index. It implements Pipeline.
@@ -225,7 +208,7 @@ func (e *Engine) Insert(p *simimg.Photo) error {
 	if pca == nil {
 		return errors.New("core: engine not built")
 	}
-	sparse, _, err := e.prepare(pca, p.Img)
+	pr, err := e.prepareSummary(pca, p.Img)
 	if err != nil {
 		return err
 	}
@@ -234,78 +217,46 @@ func (e *Engine) Insert(p *simimg.Photo) error {
 	if e.pcasift == nil {
 		return errors.New("core: engine not built")
 	}
-	return e.storeLocked(p.ID, sparse)
+	return e.storeLocked(p.ID, pr.sparse)
 }
 
-// prepare runs FE+SM for one image against the given trained basis. It
-// reads no mutable engine state, so callers may run it without holding the
-// engine lock.
-func (e *Engine) prepare(pca *feature.PCASIFT, img *simimg.Image) (*bloom.Sparse, int, error) {
-	_, descs, err := pca.DescribeAll(img, e.cfg.Detect)
-	if err != nil {
-		return nil, 0, err
-	}
-	vecs := make([][]float64, len(descs))
-	for i, d := range descs {
-		vecs[i] = d
-	}
-	filter, err := bloom.Summarize(vecs, e.cfg.Summary)
-	if err != nil {
-		return nil, 0, err
-	}
-	return bloom.ToSparse(filter), len(descs), nil
+// prepared is the output of the FE+SM front half for one photo: everything
+// the SA+CHS committer needs to store it, plus the per-stage timings that
+// feed BuildStats.
+type prepared struct {
+	sparse      *bloom.Sparse
+	descs       int
+	featureTime time.Duration
+	summaryTime time.Duration
 }
 
-// insertLocked runs FE -> SM -> SA -> CHS for one photo.
-func (e *Engine) insertLocked(p *simimg.Photo) (BuildStats, error) {
-	var st BuildStats
-	if _, dup := e.byID[p.ID]; dup {
-		return st, fmt.Errorf("core: photo %d already indexed", p.ID)
-	}
-
+// prepareSummary runs FE+SM for one image against the given trained basis.
+// It is the single implementation of the pipeline's read-only front half —
+// Insert, Build, BuildParallel and InsertBatch all go through it, so the
+// lock-free and locked ingest paths cannot drift. It reads no mutable
+// engine state, so callers may run it without holding the engine lock, from
+// any number of goroutines.
+func (e *Engine) prepareSummary(pca *feature.PCASIFT, img *simimg.Image) (prepared, error) {
+	var pr prepared
 	// FE: interest points and PCA-SIFT descriptors.
 	t0 := time.Now()
-	_, descs, err := e.pcasift.DescribeAll(p.Img, e.cfg.Detect)
+	_, descs, err := pca.DescribeAll(img, e.cfg.Detect)
 	if err != nil {
-		return st, err
+		return pr, err
 	}
-	st.FeatureTime = time.Since(t0)
-	st.Descriptors = len(descs)
+	pr.featureTime = time.Since(t0)
+	pr.descs = len(descs)
 
-	// SM: Bloom summary of the descriptor set.
+	// SM: Bloom summary of the descriptor set ([]linalg.Vector feeds
+	// Summarize directly; no [][]float64 copy).
 	t1 := time.Now()
-	vecs := make([][]float64, len(descs))
-	for i, d := range descs {
-		vecs[i] = d
-	}
-	filter, err := bloom.Summarize(vecs, e.cfg.Summary)
+	filter, err := bloom.Summarize(descs, e.cfg.Summary)
 	if err != nil {
-		return st, err
+		return pr, err
 	}
-	sparse := bloom.ToSparse(filter)
-	st.SummaryTime = time.Since(t1)
-
-	// SA: LSH insertion of the sparse summary (its set-bit positions are
-	// the element set the Jaccard-space hashes operate on). Images with no
-	// detectable features produce empty summaries; they are stored in the
-	// flat table but cannot be aggregated semantically.
-	t2 := time.Now()
-	if len(sparse.Bits) > 0 {
-		if err := e.index.Insert(lsh.ItemID(p.ID), sparse.Bits); err != nil {
-			return st, err
-		}
-	}
-	// CHS: flat cuckoo storage of the index record.
-	slot := len(e.entries)
-	e.entries = append(e.entries, entry{id: p.ID, summary: sparse})
-	if err := e.table.Insert(p.ID, uint64(slot)); err != nil {
-		return st, fmt.Errorf("flat table: %w", err)
-	}
-	e.byID[p.ID] = slot
-	st.IndexTime = time.Since(t2)
-	st.Photos = 1
-	e.chargeSim(e.ram.RandomWrite(int64(sparse.SizeBytes())), int64(sparse.SizeBytes()))
-	return st, nil
+	pr.sparse = bloom.ToSparse(filter)
+	pr.summaryTime = time.Since(t1)
+	return pr, nil
 }
 
 // Len returns the number of indexed photos (excluding deleted ones).
@@ -328,11 +279,7 @@ func (e *Engine) Summarize(img *simimg.Image) (*bloom.Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	vecs := make([][]float64, len(descs))
-	for i, d := range descs {
-		vecs[i] = d
-	}
-	return bloom.Summarize(vecs, e.cfg.Summary)
+	return bloom.Summarize(descs, e.cfg.Summary)
 }
 
 // Search implements Pipeline; the geo hint is ignored (FAST is

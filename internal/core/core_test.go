@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/fastrepro/fast/internal/metrics"
@@ -26,6 +27,20 @@ func testDataset(t *testing.T) *workload.Dataset {
 		t.Fatalf("Generate: %v", err)
 	}
 	return ds
+}
+
+var (
+	cachedDSOnce sync.Once
+	cachedDS     *workload.Dataset
+)
+
+// testDatasetCached returns the shared corpus, generated once per test
+// binary. Tests that only read the dataset (build engines over it, issue
+// queries) use this to avoid regenerating 120 images per test.
+func testDatasetCached(t *testing.T) *workload.Dataset {
+	t.Helper()
+	cachedDSOnce.Do(func() { cachedDS = testDataset(t) })
+	return cachedDS
 }
 
 func builtEngine(t *testing.T, ds *workload.Dataset) *Engine {

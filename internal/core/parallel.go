@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fastrepro/fast/internal/bloom"
@@ -14,19 +15,131 @@ import (
 	"github.com/fastrepro/fast/internal/simimg"
 )
 
-// BuildParallel builds the index like Build but extracts features and
-// summaries with the given number of workers (0 means GOMAXPROCS). Feature
-// extraction dominates construction cost and is embarrassingly parallel
-// (the evaluation cluster runs it on 32 cores per node); the LSH and cuckoo
-// insertions remain sequential, which keeps the index deterministic for a
-// given photo order.
+// The staged ingest pipeline.
+//
+// Feature extraction dominates index-construction cost (the paper's Figure 3
+// split) and is embarrassingly parallel, but the SA+CHS back half must see
+// photos in input order for the index to stay deterministic. runIngest
+// therefore splits ingest into two stages connected by a bounded reorder
+// ring:
+//
+//   - a pool of workers claims photo indexes from an atomic counter and runs
+//     the read-only FE+SM front half (prepareSummary) concurrently;
+//   - the calling goroutine is the committer: it consumes prepared results
+//     in strict input order and runs the short SA+CHS store step, so index
+//     contents, entry slots and error positions are byte-identical to the
+//     sequential path at every worker count.
+//
+// The ring holds at most window = 4*workers in-flight summaries: workers
+// acquire a token before claiming an index and the committer returns the
+// token after committing, which caps memory and guarantees each ring slot is
+// drained before it is reused (item i-window commits before item i can
+// claim a token).
+
+// ingestSlot carries one prepared photo from the worker pool to the
+// committer.
+type ingestSlot struct {
+	pr  prepared
+	err error
+}
+
+// runIngest streams every photo through prep on a worker pool and hands the
+// results to commit in strict input order on the calling goroutine.
+// workers <= 0 means GOMAXPROCS; one worker runs fully inline. commit sees
+// the first in-order error (prep or commit) and nothing after it; photos
+// before the failing index are already committed when it returns.
+func runIngest(photos []*simimg.Photo, workers int,
+	prep func(*simimg.Image) (prepared, error),
+	commit func(int, prepared) error) error {
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(photos) {
+		workers = len(photos)
+	}
+	if workers <= 1 {
+		for i, p := range photos {
+			pr, err := prep(p.Img)
+			if err != nil {
+				return fmt.Errorf("core: preparing photo %d: %w", p.ID, err)
+			}
+			if err := commit(i, pr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := 4 * workers
+	if window > len(photos) {
+		window = len(photos)
+	}
+	slots := make([]chan ingestSlot, window)
+	for i := range slots {
+		slots[i] = make(chan ingestSlot, 1)
+	}
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	var (
+		next  atomic.Int64
+		abort atomic.Bool
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				<-tokens
+				i := int(next.Add(1)) - 1
+				if i >= len(photos) {
+					tokens <- struct{}{} // hand back so sibling workers can exit
+					return
+				}
+				if abort.Load() {
+					slots[i%window] <- ingestSlot{}
+					continue
+				}
+				pr, err := prep(photos[i].Img)
+				slots[i%window] <- ingestSlot{pr: pr, err: err}
+			}
+		}()
+	}
+
+	var firstErr error
+	for i := 0; i < len(photos); i++ {
+		s := <-slots[i%window]
+		if firstErr == nil {
+			switch {
+			case s.err != nil:
+				firstErr = fmt.Errorf("core: preparing photo %d: %w", photos[i].ID, s.err)
+				abort.Store(true)
+			default:
+				if err := commit(i, s.pr); err != nil {
+					firstErr = err
+					abort.Store(true)
+				}
+			}
+		}
+		tokens <- struct{}{}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// BuildParallel builds the index like Build but with an explicit worker
+// count for the FE+SM stage (0 means GOMAXPROCS, 1 is fully sequential).
+// The ordered committer keeps index contents and BuildStats counters
+// identical to the sequential path; FeatureTime and SummaryTime sum the
+// per-photo stage costs across workers (CPU work, not wall time).
 func (e *Engine) BuildParallel(photos []*simimg.Photo, workers int) (BuildStats, error) {
 	var st BuildStats
 	if len(photos) == 0 {
 		return st, errors.New("core: empty corpus")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -38,63 +151,63 @@ func (e *Engine) BuildParallel(photos []*simimg.Photo, workers int) (BuildStats,
 		return st, err
 	}
 
-	type prepared struct {
-		photo  *simimg.Photo
-		sparse *bloom.Sparse
-		descs  int
-		err    error
-	}
-	out := make([]prepared, len(photos))
-
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	t0 := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				p := photos[i]
-				_, descs, err := e.pcasift.DescribeAll(p.Img, e.cfg.Detect)
-				if err != nil {
-					out[i] = prepared{photo: p, err: err}
-					continue
-				}
-				vecs := make([][]float64, len(descs))
-				for j, d := range descs {
-					vecs[j] = d
-				}
-				filter, err := bloom.Summarize(vecs, e.cfg.Summary)
-				if err != nil {
-					out[i] = prepared{photo: p, err: err}
-					continue
-				}
-				out[i] = prepared{photo: p, sparse: bloom.ToSparse(filter), descs: len(descs)}
+	pca := e.pcasift
+	err := runIngest(photos, workers,
+		func(img *simimg.Image) (prepared, error) { return e.prepareSummary(pca, img) },
+		func(i int, pr prepared) error {
+			t0 := time.Now()
+			if err := e.storeLocked(photos[i].ID, pr.sparse); err != nil {
+				return fmt.Errorf("core: indexing photo %d: %w", photos[i].ID, err)
 			}
-		}()
-	}
-	for i := range photos {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	prepTime := time.Since(t0)
+			st.IndexTime += time.Since(t0)
+			st.Photos++
+			st.Descriptors += pr.descs
+			st.FeatureTime += pr.featureTime
+			st.SummaryTime += pr.summaryTime
+			return nil
+		})
+	return st, err
+}
 
-	t1 := time.Now()
-	for i := range out {
-		pr := &out[i]
-		if pr.err != nil {
-			return st, fmt.Errorf("core: preparing photo %d: %w", pr.photo.ID, pr.err)
-		}
-		if err := e.storeLocked(pr.photo.ID, pr.sparse); err != nil {
-			return st, fmt.Errorf("core: indexing photo %d: %w", pr.photo.ID, err)
-		}
-		st.Photos++
-		st.Descriptors += pr.descs
+// InsertBatch adds many photos to a built index through the staged ingest
+// pipeline: FE+SM runs across workers (0 means GOMAXPROCS) with no engine
+// lock held, and the ordered committer stores each summary under a short
+// write lock, so queries keep flowing between commits and the resulting
+// index is identical to calling Insert sequentially in input order.
+//
+// On error the batch stops at the offending photo: everything before it is
+// inserted and stays inserted, and the returned BuildStats counts only the
+// committed prefix.
+func (e *Engine) InsertBatch(photos []*simimg.Photo, workers int) (BuildStats, error) {
+	var st BuildStats
+	if len(photos) == 0 {
+		return st, nil
 	}
-	st.FeatureTime = prepTime
-	st.IndexTime = time.Since(t1)
-	return st, nil
+	e.mu.RLock()
+	pca := e.pcasift
+	e.mu.RUnlock()
+	if pca == nil {
+		return st, errors.New("core: engine not built")
+	}
+
+	err := runIngest(photos, workers,
+		func(img *simimg.Image) (prepared, error) { return e.prepareSummary(pca, img) },
+		func(i int, pr prepared) error {
+			t0 := time.Now()
+			e.mu.Lock()
+			err := e.storeLocked(photos[i].ID, pr.sparse)
+			e.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("core: inserting photo %d: %w", photos[i].ID, err)
+			}
+			st.IndexTime += time.Since(t0)
+			st.Photos++
+			st.Descriptors += pr.descs
+			st.FeatureTime += pr.featureTime
+			st.SummaryTime += pr.summaryTime
+			return nil
+		})
+	return st, err
 }
 
 // trainLocked fits the PCA basis on a deterministic corpus sample.
@@ -142,7 +255,10 @@ func (e *Engine) allocLocked(n int) error {
 	return nil
 }
 
-// storeLocked runs SA+CHS for a prepared summary.
+// storeLocked runs SA+CHS for a prepared summary: LSH insertion of the
+// sparse summary's set-bit positions (images with no detectable features
+// produce empty summaries; they are stored in the flat table but cannot be
+// aggregated semantically), then flat cuckoo storage of the index record.
 func (e *Engine) storeLocked(id uint64, sparse *bloom.Sparse) error {
 	if _, dup := e.byID[id]; dup {
 		return fmt.Errorf("core: photo %d already indexed", id)

@@ -1,33 +1,25 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 )
 
-func TestBuildParallelMatchesSequential(t *testing.T) {
-	ds := testDataset(t)
-
-	seq := NewEngine(Config{})
-	if _, err := seq.Build(ds.Photos); err != nil {
-		t.Fatalf("sequential build: %v", err)
-	}
-	par := NewEngine(Config{})
-	st, err := par.BuildParallel(ds.Photos, 4)
-	if err != nil {
-		t.Fatalf("parallel build: %v", err)
-	}
-	if st.Photos != len(ds.Photos) || st.Descriptors == 0 {
-		t.Fatalf("parallel build stats: %+v", st)
-	}
+// assertEnginesEqual checks that two engines hold byte-identical indexes:
+// same size, same LSH occupancy, same cuckoo counters, and identical query
+// results for a probe sweep.
+func assertEnginesEqual(t *testing.T, label string, seq, par *Engine) {
+	t.Helper()
 	if par.Len() != seq.Len() {
-		t.Fatalf("parallel Len %d != sequential %d", par.Len(), seq.Len())
+		t.Fatalf("%s: Len %d != sequential %d", label, par.Len(), seq.Len())
 	}
 	if par.IndexBytes() != seq.IndexBytes() {
-		t.Errorf("index sizes differ: %d vs %d", par.IndexBytes(), seq.IndexBytes())
+		t.Errorf("%s: index sizes differ: %d vs %d", label, par.IndexBytes(), seq.IndexBytes())
 	}
-
-	// Query results are identical: same PCA training sample, same summary
-	// pipeline, same photo order into LSH and the table.
+	if par.LSHStats() != seq.LSHStats() {
+		t.Errorf("%s: LSH stats differ: %+v vs %+v", label, par.LSHStats(), seq.LSHStats())
+	}
+	ds := testDatasetCached(t)
 	qs, err := ds.Queries(6, 31)
 	if err != nil {
 		t.Fatal(err)
@@ -42,13 +34,135 @@ func TestBuildParallelMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		if len(a) != len(b) {
-			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+			t.Fatalf("%s: query %d: %d vs %d results", label, qi, len(a), len(b))
 		}
 		for i := range a {
 			if a[i] != b[i] {
-				t.Fatalf("query %d result %d: %+v vs %+v", qi, i, a[i], b[i])
+				t.Fatalf("%s: query %d result %d: %+v vs %+v", label, qi, i, a[i], b[i])
 			}
 		}
+	}
+}
+
+// TestBuildParallelMatchesSequential asserts the staged pipeline's ordering
+// guarantee: Build at any worker count produces an index byte-identical to
+// the sequential path — same sizes, same table counters, same ranked
+// results.
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	ds := testDatasetCached(t)
+
+	seq := NewEngine(Config{IngestWorkers: 1})
+	seqStats, err := seq.Build(ds.Photos)
+	if err != nil {
+		t.Fatalf("sequential build: %v", err)
+	}
+	seqTable := seq.TableStats()
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			par := NewEngine(Config{})
+			st, err := par.BuildParallel(ds.Photos, workers)
+			if err != nil {
+				t.Fatalf("parallel build: %v", err)
+			}
+			if st.Photos != seqStats.Photos || st.Descriptors != seqStats.Descriptors {
+				t.Fatalf("stats diverge: %+v vs sequential %+v", st, seqStats)
+			}
+			// Cuckoo insertion counters (kicks, neighbor hits, ...) depend
+			// only on the key sequence, which the ordered committer
+			// preserves exactly.
+			if got := par.TableStats(); got != seqTable {
+				t.Fatalf("table stats diverge: %+v vs %+v", got, seqTable)
+			}
+			assertEnginesEqual(t, fmt.Sprintf("workers=%d", workers), seq, par)
+		})
+	}
+}
+
+// TestBuildDefaultConfigUsesPipeline checks that plain Build (IngestWorkers
+// 0 → GOMAXPROCS) is equivalent to the sequential reference too.
+func TestBuildDefaultConfigUsesPipeline(t *testing.T) {
+	ds := testDatasetCached(t)
+	seq := NewEngine(Config{IngestWorkers: 1})
+	if _, err := seq.Build(ds.Photos); err != nil {
+		t.Fatal(err)
+	}
+	def := NewEngine(Config{})
+	if _, err := def.Build(ds.Photos); err != nil {
+		t.Fatal(err)
+	}
+	if def.TableStats() != seq.TableStats() {
+		t.Fatalf("table stats diverge: %+v vs %+v", def.TableStats(), seq.TableStats())
+	}
+	assertEnginesEqual(t, "default-config", seq, def)
+}
+
+// TestInsertBatchMatchesSequentialInsert grows two identically bootstrapped
+// engines — one by sequential Insert calls, one by InsertBatch with a
+// worker pool — and requires identical indexes.
+func TestInsertBatchMatchesSequentialInsert(t *testing.T) {
+	ds := testDatasetCached(t)
+	split := len(ds.Photos) / 2
+	boot, stream := ds.Photos[:split], ds.Photos[split:]
+
+	mk := func() *Engine {
+		e := NewEngine(Config{IngestWorkers: 1, TableCapacity: 2 * len(ds.Photos)})
+		if _, err := e.Build(boot); err != nil {
+			t.Fatalf("bootstrap build: %v", err)
+		}
+		return e
+	}
+
+	seq := mk()
+	for _, p := range stream {
+		if err := seq.Insert(p); err != nil {
+			t.Fatalf("sequential insert %d: %v", p.ID, err)
+		}
+	}
+	seqTable := seq.TableStats()
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			par := mk()
+			st, err := par.InsertBatch(stream, workers)
+			if err != nil {
+				t.Fatalf("InsertBatch: %v", err)
+			}
+			if st.Photos != len(stream) || st.Descriptors == 0 {
+				t.Fatalf("batch stats: %+v", st)
+			}
+			if got := par.TableStats(); got != seqTable {
+				t.Fatalf("table stats diverge: %+v vs %+v", got, seqTable)
+			}
+			assertEnginesEqual(t, fmt.Sprintf("insertbatch-%d", workers), seq, par)
+		})
+	}
+}
+
+func TestInsertBatchValidation(t *testing.T) {
+	ds := testDatasetCached(t)
+	e := NewEngine(Config{})
+	if _, err := e.InsertBatch(ds.Photos[:4], 2); err == nil {
+		t.Error("InsertBatch on an unbuilt engine should fail")
+	}
+	if _, err := e.Build(ds.Photos[:40]); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := e.InsertBatch(nil, 2); err != nil || st.Photos != 0 {
+		t.Errorf("empty batch: st=%+v err=%v", st, err)
+	}
+	// A duplicate mid-batch fails at its position; the prefix stays
+	// inserted.
+	batch := append(ds.Photos[40:44:44], ds.Photos[0]) // last photo already indexed
+	st, err := e.InsertBatch(batch, 3)
+	if err == nil {
+		t.Fatal("duplicate photo in batch should fail")
+	}
+	if st.Photos != 4 {
+		t.Errorf("committed prefix = %d photos, want 4", st.Photos)
+	}
+	if e.Len() != 44 {
+		t.Errorf("Len = %d, want 44", e.Len())
 	}
 }
 
@@ -57,7 +171,7 @@ func TestBuildParallelValidation(t *testing.T) {
 	if _, err := e.BuildParallel(nil, 4); err == nil {
 		t.Error("empty corpus should fail")
 	}
-	ds := testDataset(t)
+	ds := testDatasetCached(t)
 	// workers <= 0 defaults to GOMAXPROCS and still works.
 	if _, err := e.BuildParallel(ds.Photos[:20], 0); err != nil {
 		t.Fatalf("workers=0: %v", err)
@@ -68,7 +182,7 @@ func TestBuildParallelValidation(t *testing.T) {
 }
 
 func TestBuildParallelRejectsDuplicatePhotos(t *testing.T) {
-	ds := testDataset(t)
+	ds := testDatasetCached(t)
 	e := NewEngine(Config{})
 	photos := append(ds.Photos[:5:5], ds.Photos[4]) // duplicate ID
 	if _, err := e.BuildParallel(photos, 2); err == nil {

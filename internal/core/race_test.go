@@ -132,3 +132,86 @@ func TestRaceQueryBatchWhileMutating(t *testing.T) {
 		t.Error("no batch latency recorded")
 	}
 }
+
+// TestRaceInsertBatchWhileQueryBatch runs the staged ingest pipeline
+// against concurrent batch queries and stats readers: the FE+SM worker pool
+// holds no engine lock, so queries must interleave cleanly with the ordered
+// committer's short write sections. Run with -race.
+func TestRaceInsertBatchWhileQueryBatch(t *testing.T) {
+	ds := testDataset(t)
+	split := len(ds.Photos) * 3 / 4
+	e := NewEngine(Config{TableCapacity: 4 * len(ds.Photos)})
+	if _, err := e.Build(ds.Photos[:split]); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ds.Queries(4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*simimg.Image, len(qs))
+	for i, q := range qs {
+		imgs[i] = q.Probe
+	}
+	rounds := 3
+	if testing.Short() {
+		rounds = 1
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Ingest worker: stream the held-out photos plus fresh ones in batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.InsertBatch(ds.Photos[split:], 3); err != nil {
+			errs <- err
+			return
+		}
+		for r := 0; r < rounds; r++ {
+			fresh := make([]*simimg.Photo, 4)
+			for i := range fresh {
+				fresh[i] = ds.FreshPhoto(uint64(3_000_000+r*len(fresh)+i), int64(r*100+i))
+			}
+			if _, err := e.InsertBatch(fresh, 2); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Two batch-query workers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, br := range e.QueryBatch(imgs, 25, 2, nil) {
+					if br.Err != nil {
+						errs <- br.Err
+						return
+					}
+				}
+			}
+		}()
+	}
+	// One stats reader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds*4; i++ {
+			_ = e.SimCost()
+			_ = e.TableStats()
+			_ = e.IndexBytes()
+			_ = e.Len()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent ingest/query error: %v", err)
+	}
+	if e.Len() != len(ds.Photos)+rounds*4 {
+		t.Errorf("Len = %d, want %d", e.Len(), len(ds.Photos)+rounds*4)
+	}
+}

@@ -69,11 +69,7 @@ func (d *Detector) Summarize(im *simimg.Image) (*bloom.Sparse, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dedup: summarize: %w", err)
 	}
-	vecs := make([][]float64, len(descs))
-	for i, desc := range descs {
-		vecs[i] = desc
-	}
-	f, err := bloom.Summarize(vecs, d.cfg.Summary)
+	f, err := bloom.Summarize(descs, d.cfg.Summary)
 	if err != nil {
 		return nil, err
 	}

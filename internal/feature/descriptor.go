@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/fastrepro/fast/internal/linalg"
 	"github.com/fastrepro/fast/internal/simimg"
@@ -73,6 +74,22 @@ func SIFTDescriptor(im *simimg.Image, kp Keypoint) linalg.Vector {
 // PCA-SIFT input vector.
 func GradPatchDescriptor(im *simimg.Image, kp Keypoint) linalg.Vector {
 	desc := linalg.NewVector(GradPatchDim)
+	gradPatchInto(desc, im, kp)
+	return desc
+}
+
+// patchPool recycles raw gradient-patch vectors: the patch is a projection
+// input only, dead as soon as PCA reduces it, so the describe hot path
+// draws it from a pool instead of allocating GradPatchDim float64s per
+// keypoint.
+var patchPool = sync.Pool{New: func() any {
+	v := linalg.NewVector(GradPatchDim)
+	return &v
+}}
+
+// gradPatchInto fills desc (length GradPatchDim, every element overwritten)
+// with the keypoint's raw gradient patch.
+func gradPatchInto(desc linalg.Vector, im *simimg.Image, kp Keypoint) {
 	cos, sin := math.Cos(-kp.Orientation), math.Sin(-kp.Orientation)
 	spacing := math.Max(kp.Sigma, 1.0)
 	half := float64(GradPatchSize) / 2
@@ -95,7 +112,6 @@ func GradPatchDescriptor(im *simimg.Image, kp Keypoint) linalg.Vector {
 		}
 	}
 	desc.Normalize()
-	return desc
 }
 
 // normalizeClip applies Lowe's normalize -> clip(0.2) -> renormalize.
@@ -152,21 +168,38 @@ func TrainPCASIFT(training []*simimg.Image, cfg DetectConfig, outDim int) (*PCAS
 
 // Describe projects the gradient patch of kp onto the PCA basis.
 func (p *PCASIFT) Describe(im *simimg.Image, kp Keypoint) (linalg.Vector, error) {
-	raw := GradPatchDescriptor(im, kp)
-	return p.pca.Project(raw)
+	out := linalg.NewVector(p.OutDim)
+	if err := p.describeInto(out, im, kp); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// describeInto computes the PCA-SIFT descriptor of kp into dst (length
+// OutDim) using a pooled gradient-patch scratch: the only allocation left on
+// the per-keypoint path is whatever backing the caller chose for dst.
+func (p *PCASIFT) describeInto(dst linalg.Vector, im *simimg.Image, kp Keypoint) error {
+	raw := patchPool.Get().(*linalg.Vector)
+	gradPatchInto(*raw, im, kp)
+	err := p.pca.ProjectInto(dst, *raw)
+	patchPool.Put(raw)
+	return err
 }
 
 // DescribeAll extracts keypoints from im and returns their PCA-SIFT
-// descriptors together with the keypoints.
+// descriptors together with the keypoints. The descriptors share one
+// contiguous backing array (a single allocation for the whole image instead
+// of one per keypoint); each is still an independent read-only vector.
 func (p *PCASIFT) DescribeAll(im *simimg.Image, cfg DetectConfig) ([]Keypoint, []linalg.Vector, error) {
 	kps, err := DetectKeypoints(im, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	backing := linalg.NewVector(len(kps) * p.OutDim)
 	descs := make([]linalg.Vector, 0, len(kps))
-	for _, kp := range kps {
-		d, err := p.Describe(im, kp)
-		if err != nil {
+	for i, kp := range kps {
+		d := backing[i*p.OutDim : (i+1)*p.OutDim : (i+1)*p.OutDim]
+		if err := p.describeInto(d, im, kp); err != nil {
 			return nil, nil, err
 		}
 		descs = append(descs, d)

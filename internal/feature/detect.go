@@ -78,6 +78,10 @@ func DetectKeypoints(im *simimg.Image, cfg DetectConfig) ([]Keypoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The scale space is consumed entirely within this function (keypoints
+	// carry coordinates, not image references), so its rasters go back to
+	// the imgproc pixel pool on return.
+	defer pyr.Release()
 	var kps []Keypoint
 	for _, oct := range pyr.Octaves {
 		for l := 1; l+1 < len(oct.DoG); l++ {

@@ -175,6 +175,52 @@ func TestTrainPCASIFTDefaultsAndErrors(t *testing.T) {
 	}
 }
 
+func TestDescribeAllDeterministicWithPooling(t *testing.T) {
+	// DescribeAll draws gradient-patch scratch from a sync.Pool and projects
+	// into a batched backing array; repeated runs must be bitwise identical,
+	// and earlier results must not alias later runs' storage.
+	training := []*simimg.Image{testImage(10), testImage(11), testImage(12)}
+	p, err := TrainPCASIFT(training, DetectConfig{MaxKeypoints: 30}, 16)
+	if err != nil {
+		t.Fatalf("TrainPCASIFT: %v", err)
+	}
+	img := testImage(13)
+	cfg := DetectConfig{MaxKeypoints: 20}
+	_, a, err := p.DescribeAll(img, cfg)
+	if err != nil || len(a) == 0 {
+		t.Fatalf("DescribeAll: %v (%d descriptors)", err, len(a))
+	}
+	snap := make([]linalg.Vector, len(a))
+	for i, d := range a {
+		snap[i] = append(linalg.Vector(nil), d...)
+	}
+	_, b, err := p.DescribeAll(img, cfg)
+	if err != nil {
+		t.Fatalf("repeat DescribeAll: %v", err)
+	}
+	if len(b) != len(a) {
+		t.Fatalf("descriptor counts differ: %d vs %d", len(b), len(a))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("descriptor %d[%d] not bitwise stable: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	// Describing a different image must leave the first result untouched.
+	if _, _, err := p.DescribeAll(testImage(14), cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != snap[i][j] {
+				t.Fatalf("descriptor %d[%d] mutated by a later DescribeAll (pooled storage aliased)", i, j)
+			}
+		}
+	}
+}
+
 func TestMatchDescriptorsExact(t *testing.T) {
 	db := []linalg.Vector{{1, 0}, {0, 1}, {5, 5}}
 	query := []linalg.Vector{{0.9, 0.1}}

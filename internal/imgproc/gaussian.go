@@ -55,10 +55,13 @@ func Blur(im *simimg.Image, sigma float64) *simimg.Image {
 }
 
 // convolveSeparable runs the 1-D kernel horizontally then vertically with
-// clamp-to-edge boundary handling.
+// clamp-to-edge boundary handling. The horizontal-pass intermediate is a
+// pooled scratch raster returned before the function exits; the output
+// raster is pooled too and fully written, so callers that release it (the
+// pyramid) recycle it and callers that keep it see an ordinary image.
 func convolveSeparable(im *simimg.Image, k Kernel1D) *simimg.Image {
 	radius := len(k) / 2
-	tmp := simimg.New(im.W, im.H)
+	tmp := newPooledImage(im.W, im.H)
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			var s float64
@@ -68,7 +71,7 @@ func convolveSeparable(im *simimg.Image, k Kernel1D) *simimg.Image {
 			tmp.Pix[y*im.W+x] = s
 		}
 	}
-	out := simimg.New(im.W, im.H)
+	out := newPooledImage(im.W, im.H)
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			var s float64
@@ -78,15 +81,17 @@ func convolveSeparable(im *simimg.Image, k Kernel1D) *simimg.Image {
 			out.Pix[y*im.W+x] = s
 		}
 	}
+	putPix(tmp.Pix)
 	return out
 }
 
-// Subtract returns a - b pixel-wise; the images must be the same size.
+// Subtract returns a - b pixel-wise; the images must be the same size. The
+// result raster is pooled (see scratch.go) and fully written.
 func Subtract(a, b *simimg.Image) (*simimg.Image, error) {
 	if a.W != b.W || a.H != b.H {
 		return nil, fmt.Errorf("imgproc: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
 	}
-	out := simimg.New(a.W, a.H)
+	out := newPooledImage(a.W, a.H)
 	for i := range a.Pix {
 		out.Pix[i] = a.Pix[i] - b.Pix[i]
 	}

@@ -1,0 +1,79 @@
+package imgproc
+
+import (
+	"math/bits"
+	"sync"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// Pixel-buffer recycling for the scale-space kernels. Pyramid construction
+// is the allocation hot spot of feature extraction: every Blur and Subtract
+// produces a full-resolution float64 raster, and a single DoG detection
+// builds ~30 of them only to discard the lot once keypoints are found. The
+// pools below recycle those rasters across images (and across the ingest
+// pipeline's workers — sync.Pool is concurrency-safe), cutting the
+// allocation churn of a parallel Build without changing any pixel: every
+// pooled buffer is fully overwritten before it is read.
+//
+// Buffers are bucketed by power-of-two capacity: a request for n pixels
+// draws from the bucket holding capacities >= n, and a released buffer
+// lands in the bucket of capacities <= its own, so a Get never returns a
+// too-small slice.
+var pixPools [28]sync.Pool
+
+// getPix returns a length-n pixel buffer, recycled when possible. Contents
+// are arbitrary; callers must overwrite every element they read.
+func getPix(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	b := bits.Len(uint(n - 1)) // smallest power of two >= n
+	if b < len(pixPools) {
+		if v := pixPools[b].Get(); v != nil {
+			return (*v.(*[]float64))[:n]
+		}
+	}
+	return make([]float64, n, 1<<b)
+}
+
+// putPix returns a pixel buffer to its capacity bucket.
+func putPix(p []float64) {
+	c := cap(p)
+	if c == 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1 // largest power of two <= cap
+	if b >= len(pixPools) {
+		return
+	}
+	p = p[:c]
+	pixPools[b].Put(&p)
+}
+
+// newPooledImage returns a WxH image whose pixel buffer is drawn from the
+// pool. The buffer's contents are arbitrary: the caller must write every
+// pixel before the image is read.
+func newPooledImage(w, h int) *simimg.Image {
+	return &simimg.Image{W: w, H: h, Pix: getPix(w * h)}
+}
+
+// Release returns every level and DoG raster of the pyramid to the pixel
+// pool and clears the octave list. Call it once detection has consumed the
+// scale space; the input image itself is never part of the pyramid, so it is
+// never released. Using any level image after Release is a bug (their pixel
+// slices are recycled); the nil-ed fields make such use fail fast.
+func (p *Pyramid) Release() {
+	for _, oct := range p.Octaves {
+		for _, im := range oct.Levels {
+			putPix(im.Pix)
+			im.Pix = nil
+		}
+		for _, im := range oct.DoG {
+			putPix(im.Pix)
+			im.Pix = nil
+		}
+		oct.Levels, oct.DoG = nil, nil
+	}
+	p.Octaves = nil
+}

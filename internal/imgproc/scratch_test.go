@@ -1,0 +1,81 @@
+package imgproc
+
+import (
+	"testing"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+func TestGetPixCapacityBuckets(t *testing.T) {
+	// A released buffer must never be handed back to a request it cannot
+	// hold: get rounds the bucket up, put rounds it down.
+	p := getPix(100)
+	if len(p) != 100 || cap(p) < 100 {
+		t.Fatalf("getPix(100): len %d cap %d", len(p), cap(p))
+	}
+	putPix(p)
+	q := getPix(128)
+	if len(q) != 128 || cap(q) < 128 {
+		t.Fatalf("getPix(128) after recycling a cap-%d buffer: len %d cap %d", cap(p), len(q), cap(q))
+	}
+	putPix(q)
+	if r := getPix(0); r != nil {
+		t.Errorf("getPix(0) = %v, want nil", r)
+	}
+	putPix(nil) // must not panic
+}
+
+func TestPyramidReleaseKeepsBuildDeterministic(t *testing.T) {
+	// Building a pyramid from recycled buffers must be pixel-identical to
+	// building it from fresh ones: every pooled raster is fully overwritten.
+	im := simimg.NewScene(21).Render(64, 64)
+	first, err := BuildPyramid(im, PyramidConfig{})
+	if err != nil {
+		t.Fatalf("BuildPyramid: %v", err)
+	}
+	type snap struct{ levels, dogs [][]float64 }
+	var snaps []snap
+	for _, oct := range first.Octaves {
+		var s snap
+		for _, lv := range oct.Levels {
+			s.levels = append(s.levels, append([]float64(nil), lv.Pix...))
+		}
+		for _, d := range oct.DoG {
+			s.dogs = append(s.dogs, append([]float64(nil), d.Pix...))
+		}
+		snaps = append(snaps, s)
+	}
+	first.Release()
+	if first.Octaves != nil {
+		t.Fatal("Release did not clear the octave list")
+	}
+
+	second, err := BuildPyramid(im, PyramidConfig{})
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	defer second.Release()
+	if len(second.Octaves) != len(snaps) {
+		t.Fatalf("octave count changed: %d vs %d", len(second.Octaves), len(snaps))
+	}
+	for o, oct := range second.Octaves {
+		if len(oct.Levels) != len(snaps[o].levels) || len(oct.DoG) != len(snaps[o].dogs) {
+			t.Fatalf("octave %d shape changed", o)
+		}
+		for l, lv := range oct.Levels {
+			for i, v := range lv.Pix {
+				if v != snaps[o].levels[l][i] {
+					t.Fatalf("octave %d level %d pixel %d: %v vs %v (pooled buffer leaked stale data)",
+						o, l, i, v, snaps[o].levels[l][i])
+				}
+			}
+		}
+		for l, d := range oct.DoG {
+			for i, v := range d.Pix {
+				if v != snaps[o].dogs[l][i] {
+					t.Fatalf("octave %d DoG %d pixel %d: %v vs %v", o, l, i, v, snaps[o].dogs[l][i])
+				}
+			}
+		}
+	}
+}

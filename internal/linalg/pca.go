@@ -63,11 +63,35 @@ func FitPCA(samples []Vector, outDim int) (*PCA, error) {
 // Project maps v onto the principal components. It returns an error if the
 // input dimension does not match the fitted projection.
 func (p *PCA) Project(v Vector) (Vector, error) {
-	if len(v) != p.InputDim {
-		return nil, fmt.Errorf("linalg: project dimension %d, want %d", len(v), p.InputDim)
+	out := NewVector(p.OutputDim)
+	if err := p.ProjectInto(out, v); err != nil {
+		return nil, err
 	}
-	centered := v.Sub(p.Mean)
-	return p.Basis.MulVec(centered), nil
+	return out, nil
+}
+
+// ProjectInto projects v onto the principal components, writing the result
+// into dst (length OutputDim). It allocates nothing: the mean-centering that
+// Project materializes as a temporary vector is folded into the
+// basis-row dot products, which keeps per-descriptor projection off the
+// allocator on the hot feature-extraction path.
+func (p *PCA) ProjectInto(dst, v Vector) error {
+	if len(v) != p.InputDim {
+		return fmt.Errorf("linalg: project dimension %d, want %d", len(v), p.InputDim)
+	}
+	if len(dst) != p.OutputDim {
+		return fmt.Errorf("linalg: projection target dimension %d, want %d", len(dst), p.OutputDim)
+	}
+	cols := p.Basis.Cols
+	for r := 0; r < p.OutputDim; r++ {
+		row := p.Basis.Data[r*cols : (r+1)*cols]
+		var s float64
+		for c, x := range v {
+			s += row[c] * (x - p.Mean[c])
+		}
+		dst[r] = s
+	}
+	return nil
 }
 
 // ProjectAll maps each vector in vs; it stops at the first error.
