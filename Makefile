@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-ingest fmt-check ci
+.PHONY: build test race vet bench bench-ingest bench-serve serve fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,17 @@ bench:
 # writes BENCH_ingest.json for artifact tracking.
 bench-ingest:
 	$(GO) run ./cmd/fastbench -exp ingest -scale 60000
+
+# Serving benchmark: boots the HTTP serving layer on a loopback listener,
+# drives it with 64 concurrent clients in naive (window=0) and coalesced
+# modes, verifies the answers match, and writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/fastbench -exp serve -scale 60000
+
+# Boot a demo daemon over a small synthetic corpus. Ctrl-C drains and
+# writes fastd.snapshot for the next run.
+serve:
+	$(GO) run ./cmd/fastd -addr 127.0.0.1:8093 -photos 120 -scenes 6 -final-snapshot fastd.snapshot
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

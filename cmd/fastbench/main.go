@@ -6,11 +6,14 @@
 //	fastbench -exp all -scale 10000 -queries 25
 //
 // Experiment IDs: table1, table2, fig3, fig4, table3, table4, fig5, fig6,
-// fig7, qps, ingest, fig8a, fig8b, ablation. The qps experiment reports
-// end-to-end queries/sec of the sharded concurrent engine
+// fig7, qps, ingest, serve, fig8a, fig8b, ablation. The qps experiment
+// reports end-to-end queries/sec of the sharded concurrent engine
 // (Engine.QueryBatch) at increasing worker counts; the ingest experiment
 // reports photos/sec of the staged parallel ingest pipeline
-// (Engine.InsertBatch) and writes BENCH_ingest.json to -artifacts.
+// (Engine.InsertBatch) and writes BENCH_ingest.json to -artifacts; the
+// serve experiment drives the HTTP serving layer (internal/server) with 64
+// concurrent clients, compares coalesced vs naive dispatch, and writes
+// BENCH_serve.json to -artifacts.
 //
 // For performance work, -cpuprofile and -memprofile write standard pprof
 // profiles of the selected experiments:

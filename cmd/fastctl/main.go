@@ -4,16 +4,32 @@
 //
 //	fastctl -photos 400 -scenes 10 -queries 20
 //	fastctl -photos 1000 -scheme PCA-SIFT -queries 5 -topk 20
+//
+// It also administers a running fastd daemon:
+//
+//	fastctl query    -server http://127.0.0.1:8093 -queries 5
+//	fastctl snapshot -server http://127.0.0.1:8093 -out index.fast
+//	fastctl restore  -server http://127.0.0.1:8093 -in index.fast
+//
+// query sends synthetic probes over the wire (regenerate the daemon's
+// corpus parameters with -photos/-scenes/-seed to probe for real matches);
+// snapshot streams a hot snapshot of the daemon's index to a local file
+// (written via temp file + rename) and verifies it reloads to the photo
+// count the daemon reports; restore uploads a snapshot file, replacing the
+// daemon's index in place, and verifies the daemon serves the new count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/fastrepro/fast/internal/baseline"
+	"github.com/fastrepro/fast/internal/client"
 	"github.com/fastrepro/fast/internal/core"
 	"github.com/fastrepro/fast/internal/metrics"
 	"github.com/fastrepro/fast/internal/workload"
@@ -21,6 +37,19 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "query":
+			runQuery(os.Args[2:])
+			return
+		case "snapshot":
+			runSnapshot(os.Args[2:])
+			return
+		case "restore":
+			runRestore(os.Args[2:])
+			return
+		}
+	}
 	var (
 		photos  = flag.Int("photos", 300, "corpus size")
 		scenes  = flag.Int("scenes", 10, "number of landmark scenes")
@@ -116,4 +145,169 @@ func main() {
 	fmt.Printf("\n%d queries: mean %v, median %v, p99 %v; mean recall %.2f\n",
 		s.Count, s.Mean.Round(time.Microsecond), s.Median.Round(time.Microsecond),
 		s.P99.Round(time.Microsecond), acc.Mean())
+}
+
+// runQuery implements `fastctl query`: send synthetic probes to a running
+// daemon and report per-query hit counts and latency. With corpus flags
+// matching the daemon's bootstrap (-photos/-scenes/-seed), the probes are
+// near-duplicates of indexed photos and should return real matches.
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8093", "fastd base URL")
+		queries   = fs.Int("queries", 5, "number of probes to send")
+		topK      = fs.Int("topk", 25, "results per query")
+		photos    = fs.Int("photos", 300, "probe-generator corpus size (match the daemon's)")
+		scenes    = fs.Int("scenes", 10, "probe-generator scene count (match the daemon's)")
+		seed      = fs.Int64("seed", 1, "probe-generator seed (match the daemon's)")
+		timeout   = fs.Duration("timeout", time.Minute, "request timeout")
+	)
+	fs.Parse(args)
+	ds, err := workload.Generate(workload.Spec{
+		Name:        "fastd",
+		Scenes:      *scenes,
+		Photos:      *photos,
+		Subjects:    4,
+		SubjectRate: 0.2,
+		Resolution:  64,
+		Seed:        *seed,
+		SceneBase:   6000,
+	})
+	if err != nil {
+		log.Fatalf("fastctl query: generating probes: %v", err)
+	}
+	qs, err := ds.Queries(*queries, *seed+100)
+	if err != nil {
+		log.Fatalf("fastctl query: %v", err)
+	}
+
+	c := adminClient(*serverURL, *timeout)
+	ctx := context.Background()
+	lat := metrics.NewLatency()
+	hits := 0
+	for qi, q := range qs {
+		t0 := time.Now()
+		res, err := c.Query(ctx, q.Probe, *topK)
+		if err != nil {
+			log.Fatalf("fastctl query: query %d: %v", qi+1, err)
+		}
+		lat.Record(time.Since(t0))
+		hits += len(res)
+		fmt.Printf("query %2d (scene %d): %2d results", qi+1, q.Scene, len(res))
+		if len(res) > 0 {
+			fmt.Printf(", best photo %d score %.3f", res[0].ID, res[0].Score)
+		}
+		fmt.Println()
+	}
+	s := lat.Summarize()
+	fmt.Printf("\n%d queries over the wire: %d total results; mean %v, p99 %v\n",
+		s.Count, hits, s.Mean.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	if hits == 0 {
+		log.Fatal("fastctl query: no query returned any results")
+	}
+}
+
+// adminClient builds the client shared by the daemon subcommands.
+func adminClient(serverURL string, timeout time.Duration) *client.Client {
+	return client.New(serverURL, client.WithTimeout(timeout))
+}
+
+// runSnapshot implements `fastctl snapshot`: stream the daemon's index to a
+// local file and verify the bytes reload.
+func runSnapshot(args []string) {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8093", "fastd base URL")
+		out       = fs.String("out", "index.fast", "snapshot destination file")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "request timeout")
+	)
+	fs.Parse(args)
+	c := adminClient(*serverURL, *timeout)
+	ctx := context.Background()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("fastctl snapshot: %s is not answering: %v", *serverURL, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(*out), "fastctl-snap-*")
+	if err != nil {
+		log.Fatalf("fastctl snapshot: %v", err)
+	}
+	defer os.Remove(tmp.Name())
+	t0 := time.Now()
+	n, err := c.Snapshot(ctx, tmp)
+	if err != nil {
+		tmp.Close()
+		log.Fatalf("fastctl snapshot: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		log.Fatalf("fastctl snapshot: %v", err)
+	}
+
+	// Verify the snapshot parses and carries the photo count the daemon
+	// reported before renaming it over the destination.
+	f, err := os.Open(tmp.Name())
+	if err != nil {
+		log.Fatalf("fastctl snapshot: %v", err)
+	}
+	eng, err := core.ReadEngine(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("fastctl snapshot: downloaded snapshot does not reload: %v", err)
+	}
+	if eng.Len() != st.Photos {
+		log.Fatalf("fastctl snapshot: snapshot reloads to %d photos, daemon reported %d", eng.Len(), st.Photos)
+	}
+	if err := os.Rename(tmp.Name(), *out); err != nil {
+		log.Fatalf("fastctl snapshot: %v", err)
+	}
+	fmt.Printf("snapshot: %d photos, %d bytes -> %s (verified reload) in %v\n",
+		eng.Len(), n, *out, time.Since(t0).Round(time.Millisecond))
+}
+
+// runRestore implements `fastctl restore`: upload a snapshot file into the
+// daemon and verify it took effect.
+func runRestore(args []string) {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8093", "fastd base URL")
+		in        = fs.String("in", "index.fast", "snapshot file to upload")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "request timeout")
+	)
+	fs.Parse(args)
+	c := adminClient(*serverURL, *timeout)
+	ctx := context.Background()
+
+	// Parse locally first: a corrupt file fails here with a snapshot error
+	// instead of a server round trip, and the parse yields the photo count
+	// the daemon must serve afterwards.
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("fastctl restore: %v", err)
+	}
+	eng, err := core.ReadEngine(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("fastctl restore: %s does not parse: %v", *in, err)
+	}
+	want := eng.Len()
+
+	f, err = os.Open(*in)
+	if err != nil {
+		log.Fatalf("fastctl restore: %v", err)
+	}
+	defer f.Close()
+	t0 := time.Now()
+	if err := c.Restore(ctx, f); err != nil {
+		log.Fatalf("fastctl restore: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("fastctl restore: daemon stopped answering after restore: %v", err)
+	}
+	if st.Photos != want {
+		log.Fatalf("fastctl restore: daemon serves %d photos, snapshot holds %d", st.Photos, want)
+	}
+	fmt.Printf("restore: %s -> %s, daemon now serves %d photos (verified) in %v\n",
+		*in, *serverURL, st.Photos, time.Since(t0).Round(time.Millisecond))
 }

@@ -1,0 +1,172 @@
+// Command fastd serves a FAST index over HTTP: the /v1 JSON API of
+// internal/server (query, insert, delete, snapshot, restore, stats) with
+// admission control and request coalescing in front of the engine.
+//
+// The index is bootstrapped either from a snapshot written by a previous
+// run (or by fastctl snapshot):
+//
+//	fastd -addr :8093 -snapshot index.fast
+//
+// or, for demos and smoke tests, from a freshly generated synthetic
+// corpus:
+//
+//	fastd -addr :8093 -photos 300 -scenes 10
+//
+// On SIGINT/SIGTERM the daemon drains: health checks start failing, new
+// requests are refused, in-flight requests finish, and (with
+// -final-snapshot) the index is persisted so the next run can resume it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fastd: ")
+	var (
+		addr        = flag.String("addr", ":8093", "listen address")
+		snapshot    = flag.String("snapshot", "", "bootstrap the index from this snapshot file")
+		finalSnap   = flag.String("final-snapshot", "", "write the index here during graceful shutdown")
+		photos      = flag.Int("photos", 300, "synthetic bootstrap corpus size (ignored with -snapshot)")
+		scenes      = flag.Int("scenes", 10, "synthetic bootstrap scene count (ignored with -snapshot)")
+		seed        = flag.Int64("seed", 1, "synthetic bootstrap generator seed")
+		window      = flag.Duration("window", 2*time.Millisecond, "request-coalescing window (0 disables)")
+		batchMax    = flag.Int("batch-max", 32, "max probes per coalesced batch")
+		workers     = flag.Int("workers", 0, "engine workers per coalesced batch (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 0, "admission: concurrent request limit (0 = 8*GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "admission: waiting-line limit before 429 (0 = 4*max-inflight)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	eng, err := bootstrap(*snapshot, *photos, *scenes, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:       eng,
+		Window:       *window,
+		BatchMax:     *batchMax,
+		BatchWorkers: *workers,
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	log.Printf("serving %d photos on %s (window %v, batch-max %d)",
+		eng.Len(), ln.Addr(), *window, *batchMax)
+
+	// Wait for a shutdown signal, then drain: refuse new work, let
+	// http.Server.Shutdown wait out the in-flight handlers, stop the
+	// coalescers, and only then cut the final snapshot — so it contains
+	// every insert the server acknowledged.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("%v: draining...", got)
+
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v (continuing)", err)
+	}
+	srv.Close()
+
+	if *finalSnap != "" {
+		if err := writeSnapshot(srv.Engine(), *finalSnap); err != nil {
+			log.Fatalf("final snapshot: %v", err)
+		}
+		log.Printf("final snapshot written to %s", *finalSnap)
+	}
+	log.Println("bye")
+}
+
+// bootstrap loads the engine from a snapshot, or builds one over a
+// synthetic corpus when no snapshot is given.
+func bootstrap(snapshot string, photos, scenes int, seed int64) (*core.Engine, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("opening snapshot: %w", err)
+		}
+		defer f.Close()
+		t0 := time.Now()
+		eng, err := core.ReadEngine(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
+		}
+		log.Printf("loaded %d photos from %s in %v", eng.Len(), snapshot, time.Since(t0).Round(time.Millisecond))
+		return eng, nil
+	}
+
+	ds, err := workload.Generate(workload.Spec{
+		Name:        "fastd",
+		Scenes:      scenes,
+		Photos:      photos,
+		Subjects:    4,
+		SubjectRate: 0.2,
+		Resolution:  64,
+		Seed:        seed,
+		SceneBase:   6000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("generating bootstrap corpus: %w", err)
+	}
+	eng := core.NewEngine(core.Config{})
+	t0 := time.Now()
+	if _, err := eng.Build(ds.Photos); err != nil {
+		return nil, fmt.Errorf("building bootstrap index: %w", err)
+	}
+	log.Printf("built synthetic index (%d photos, %d scenes) in %v",
+		photos, scenes, time.Since(t0).Round(time.Millisecond))
+	return eng, nil
+}
+
+// writeSnapshot persists the engine to path via a same-directory temp file
+// and rename, so a crash mid-write never leaves a truncated snapshot under
+// the final name.
+func writeSnapshot(eng *core.Engine, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "fastd-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := eng.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

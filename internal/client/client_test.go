@@ -1,0 +1,89 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stub answers /v1/delete with a scripted status sequence (last status
+// repeats) and records how many attempts arrived.
+func stub(t *testing.T, statuses ...int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(hits.Add(1)) - 1
+		if n >= len(statuses) {
+			n = len(statuses) - 1
+		}
+		status := statuses[n]
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "0")
+		}
+		if status == http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write([]byte(`{"ok":true}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write([]byte(`{"error":"scripted failure"}`))
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &hits
+}
+
+func TestRetriesBackpressureThenSucceeds(t *testing.T) {
+	hs, hits := stub(t, http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusOK)
+	c := New(hs.URL, WithRetries(3, time.Millisecond))
+	if err := c.Delete(context.Background(), 1); err != nil {
+		t.Fatalf("Delete after 429,503,200: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	hs, hits := stub(t, http.StatusBadRequest)
+	c := New(hs.URL, WithRetries(3, time.Millisecond))
+	err := c.Delete(context.Background(), 1)
+	if err == nil || !strings.Contains(err.Error(), "scripted failure") {
+		t.Fatalf("Delete: %v, want server's message", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1 (no retry)", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	hs, hits := stub(t, http.StatusTooManyRequests)
+	c := New(hs.URL, WithRetries(2, time.Millisecond))
+	err := c.Delete(context.Background(), 1)
+	if err == nil || !strings.Contains(err.Error(), "failed after 3 attempts") {
+		t.Fatalf("Delete: %v, want exhaustion error", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestContextCancelsRetryLoop(t *testing.T) {
+	hs, _ := stub(t, http.StatusServiceUnavailable)
+	c := New(hs.URL, WithRetries(10, 50*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Delete(ctx, 1)
+	if err == nil {
+		t.Fatal("Delete succeeded against a permanently unavailable server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored context cancellation (ran %v)", elapsed)
+	}
+}

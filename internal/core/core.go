@@ -482,6 +482,51 @@ func (e *Engine) IndexBytes() int64 {
 	return total
 }
 
+// EngineStats is a point-in-time aggregate of the engine's observable
+// state, collected under a single read lock so the fields are mutually
+// consistent. The serving layer reports it verbatim from /v1/stats.
+type EngineStats struct {
+	Built       bool
+	Photos      int   // live (non-deleted) indexed photos
+	Entries     int   // entry slots including deletion tombstones
+	IndexBytes  int64 // resident index size (summaries + LSH refs + cuckoo cells)
+	LSHShards   int
+	TableShards int
+	Table       cuckoo.Stats
+	LSH         lsh.BucketStats
+	Sim         SimCost
+}
+
+// Stats returns a consistent aggregate of the engine's counters: photo and
+// tombstone counts, resident index size, lock-shard geometry and the
+// data-structure statistics the per-field accessors expose individually.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := EngineStats{
+		Built:   e.pcasift != nil,
+		Photos:  len(e.byID),
+		Entries: len(e.entries),
+		Sim:     e.simLocked(),
+	}
+	for _, ent := range e.entries {
+		if ent.summary != nil {
+			st.IndexBytes += int64(ent.summary.SizeBytes())
+		}
+	}
+	if e.index != nil {
+		st.LSH = e.index.Stats()
+		st.LSHShards = e.index.Shards()
+		st.IndexBytes += int64(st.LSH.TotalRefs) * 8
+	}
+	if e.table != nil {
+		st.Table = e.table.Stats()
+		st.TableShards = e.table.Shards()
+		st.IndexBytes += int64(e.table.Cap()) * 16
+	}
+	return st
+}
+
 // TableStats exposes the flat table's counters (Figure 6 instrumentation).
 func (e *Engine) TableStats() cuckoo.Stats {
 	e.mu.RLock()
@@ -546,7 +591,11 @@ func (e *Engine) flushSim(c SimCost) {
 }
 
 // SimCost implements Pipeline, summing the counter stripes.
-func (e *Engine) SimCost() SimCost {
+func (e *Engine) SimCost() SimCost { return e.simLocked() }
+
+// simLocked sums the counter stripes; the stripes are atomic, so no lock is
+// actually required — the name records that it is safe under e.mu too.
+func (e *Engine) simLocked() SimCost {
 	var c SimCost
 	for i := range e.sim {
 		s := &e.sim[i]

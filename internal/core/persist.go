@@ -30,7 +30,15 @@ import (
 //	entries count, then per entry: id, bit count, bits
 const persistMagic = "FASTIDX1"
 
-var errBadSnapshot = errors.New("core: corrupt or incompatible index snapshot")
+// ErrBadSnapshot is wrapped by every error ReadEngine returns for a
+// malformed, truncated or internally inconsistent snapshot, so callers
+// (the daemon's bootstrap, fastctl restore) can distinguish corrupt input
+// from I/O failure with errors.Is.
+var ErrBadSnapshot = errors.New("core: corrupt or incompatible index snapshot")
+
+// errBadSnapshot is the historical unexported name; kept as an alias so
+// existing wrapping sites read naturally.
+var errBadSnapshot = ErrBadSnapshot
 
 // WriteTo serializes the engine's index. It implements io.WriterTo.
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
@@ -54,9 +62,16 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	cfg := e.cfg
+	// Serialize the *effective* LSH geometry (engine withDefaults leaves
+	// cfg.LSH raw; lsh.NewMinHash resolves zeros), so every field in the
+	// header is a concrete value the read-side validator can bound-check.
+	lshp := cfg.LSH
+	if e.index != nil {
+		lshp = e.index.Params()
+	}
 	if err := write(
 		uint32(cfg.Summary.Bits), int32(cfg.Summary.K), int32(cfg.Summary.SubVector), cfg.Summary.Granularity,
-		int32(cfg.LSH.Bands), int32(cfg.LSH.Rows), cfg.LSH.Seed,
+		int32(lshp.Bands), int32(lshp.Rows), lshp.Seed,
 		int64(cfg.TableCapacity), int32(cfg.Neighborhood), cfg.MinScore, int32(cfg.GroupExpand),
 	); err != nil {
 		return cw.n, err
@@ -144,13 +159,17 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	cfg.Neighborhood = int(nu)
 	cfg.MinScore = minScore
 	cfg.GroupExpand = int(groupExpand)
+	if err := validateSnapshotConfig(cfg); err != nil {
+		return nil, err
+	}
 
 	// PCA basis.
 	var inDim, outDim int32
 	if err := read(&inDim, &outDim); err != nil {
 		return nil, fmt.Errorf("%w: pca header: %v", errBadSnapshot, err)
 	}
-	if inDim <= 0 || outDim <= 0 || inDim > 1<<20 || outDim > inDim {
+	if inDim <= 0 || outDim <= 0 || inDim > 1<<20 || outDim > inDim ||
+		int64(inDim)*int64(outDim) > 1<<26 {
 		return nil, fmt.Errorf("%w: pca dims %d/%d", errBadSnapshot, inDim, outDim)
 	}
 	mean := make(linalg.Vector, inDim)
@@ -185,11 +204,11 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	}
 	e.index, err = lsh.NewMinHash(e.cfg.LSH)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: lsh params: %v", errBadSnapshot, err)
 	}
 	e.table, err = cuckoo.NewFlat(capacity, e.cfg.Neighborhood, 0, 12345)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: table params: %v", errBadSnapshot, err)
 	}
 
 	for i := int64(0); i < count; i++ {
@@ -199,8 +218,18 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		if err := read(&id, &m, &sk, &nbits); err != nil {
 			return nil, fmt.Errorf("%w: entry %d header: %v", errBadSnapshot, i, err)
 		}
+		// Every stored summary must share the engine's geometry — Jaccard
+		// similarity is undefined across filter sizes, so a mismatched entry
+		// means the writer and this header disagree (i.e. corruption).
+		if m != cfg.Summary.Bits || int(sk) != cfg.Summary.K {
+			return nil, fmt.Errorf("%w: entry %d geometry %d/%d differs from config %d/%d",
+				errBadSnapshot, i, m, sk, cfg.Summary.Bits, cfg.Summary.K)
+		}
 		if nbits < 0 || uint32(nbits) > m {
 			return nil, fmt.Errorf("%w: entry %d has %d bits of %d", errBadSnapshot, i, nbits, m)
+		}
+		if _, dup := e.byID[id]; dup {
+			return nil, fmt.Errorf("%w: entry %d repeats photo id %d", errBadSnapshot, i, id)
 		}
 		sp := &bloom.Sparse{M: m, K: int(sk), Bits: make([]uint32, nbits)}
 		if err := read(sp.Bits); err != nil {
@@ -210,7 +239,7 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		e.entries = append(e.entries, entry{id: id, summary: sp})
 		if len(sp.Bits) > 0 {
 			if err := e.index.Insert(lsh.ItemID(id), sp.Bits); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: entry %d lsh insert: %v", errBadSnapshot, i, err)
 			}
 		}
 		if err := e.table.Insert(id, uint64(slot)); err != nil {
@@ -218,7 +247,56 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		}
 		e.byID[id] = slot
 	}
+
+	// The entry count is the snapshot's own framing; bytes past the last
+	// entry mean the count field lied (e.g. a torn rewrite), so reject them
+	// rather than silently dropping data.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after %d entries", errBadSnapshot, count)
+	}
 	return e, nil
+}
+
+// validateSnapshotConfig bounds every configuration field read from a
+// snapshot header before any of it is used to size allocations, so a
+// corrupt header fails with a wrapped ErrBadSnapshot instead of an
+// out-of-memory abort or a panic deeper in the constructors.
+func validateSnapshotConfig(cfg Config) error {
+	bad := func(field string, v interface{}) error {
+		return fmt.Errorf("%w: config field %s = %v out of range", errBadSnapshot, field, v)
+	}
+	s := cfg.Summary
+	if s.Bits == 0 || s.Bits > 1<<27 {
+		return bad("summary.bits", s.Bits)
+	}
+	if s.K <= 0 || s.K > 256 {
+		return bad("summary.k", s.K)
+	}
+	if s.SubVector <= 0 || s.SubVector > 1<<16 {
+		return bad("summary.subvector", s.SubVector)
+	}
+	if !(s.Granularity > 0) || s.Granularity > 1e9 { // NaN fails the comparison too
+		return bad("summary.granularity", s.Granularity)
+	}
+	if cfg.LSH.Bands <= 0 || cfg.LSH.Bands > 1<<12 {
+		return bad("lsh.bands", cfg.LSH.Bands)
+	}
+	if cfg.LSH.Rows <= 0 || cfg.LSH.Rows > 1<<12 {
+		return bad("lsh.rows", cfg.LSH.Rows)
+	}
+	if cfg.TableCapacity < 0 || cfg.TableCapacity > 1<<36 {
+		return bad("table.capacity", cfg.TableCapacity)
+	}
+	if cfg.Neighborhood < 0 || cfg.Neighborhood > 1<<16 {
+		return bad("table.neighborhood", cfg.Neighborhood)
+	}
+	if !(cfg.MinScore >= -1 && cfg.MinScore <= 1) { // NaN fails the comparison too
+		return bad("minscore", cfg.MinScore)
+	}
+	if cfg.GroupExpand < -1<<20 || cfg.GroupExpand > 1<<20 {
+		return bad("groupexpand", cfg.GroupExpand)
+	}
+	return nil
 }
 
 // countingWriter tracks bytes written for the io.WriterTo contract.

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Snapshot layout offsets (little-endian), mirroring WriteTo. The config
+// block is fixed-width, so field offsets are compile-time constants; the
+// PCA block and entry records are walked with the sizes read from the file.
+const (
+	offMagic       = 0
+	offSummaryBits = 8  // uint32
+	offSummaryK    = 12 // int32
+	offSubVector   = 16 // int32
+	offGranularity = 20 // float64
+	offBands       = 28 // int32
+	offRows        = 32 // int32
+	offSeed        = 36 // int64
+	offTableCap    = 44 // int64
+	offNeighbor    = 52 // int32
+	offMinScore    = 56 // float64
+	offGroupExpand = 64 // int32
+	offPCADims     = 68 // int32 inDim, int32 outDim
+)
+
+var (
+	hardSnapOnce sync.Once
+	hardSnap     []byte // pristine snapshot of a small built engine
+)
+
+// hardeningSnapshot builds one engine and serializes it once per test
+// binary; mutation cases each work on their own copy.
+func hardeningSnapshot(t *testing.T) []byte {
+	t.Helper()
+	hardSnapOnce.Do(func() {
+		ds := testDatasetCached(t)
+		e := builtEngine(t, ds)
+		var buf bytes.Buffer
+		if _, err := e.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		hardSnap = buf.Bytes()
+	})
+	if hardSnap == nil {
+		t.Fatal("snapshot construction failed in an earlier test")
+	}
+	return hardSnap
+}
+
+// snapLayout locates the variable-offset landmarks of a snapshot: the entry
+// count field and the start of each entry record.
+type snapLayout struct {
+	countOff   int
+	count      int64
+	entryOffs  []int // offset of each entry's id field
+	entrySizes []int
+}
+
+func layoutOf(t *testing.T, snap []byte) snapLayout {
+	t.Helper()
+	inDim := int(int32(binary.LittleEndian.Uint32(snap[offPCADims:])))
+	outDim := int(int32(binary.LittleEndian.Uint32(snap[offPCADims+4:])))
+	var l snapLayout
+	l.countOff = offPCADims + 8 + 8*inDim + 8*inDim*outDim
+	l.count = int64(binary.LittleEndian.Uint64(snap[l.countOff:]))
+	off := l.countOff + 8
+	for i := int64(0); i < l.count; i++ {
+		nbits := int(int32(binary.LittleEndian.Uint32(snap[off+16:])))
+		size := 8 + 4 + 4 + 4 + 4*nbits
+		l.entryOffs = append(l.entryOffs, off)
+		l.entrySizes = append(l.entrySizes, size)
+		off += size
+	}
+	if off != len(snap) {
+		t.Fatalf("layout walk ended at %d of %d bytes", off, len(snap))
+	}
+	return l
+}
+
+func put32(b []byte, off int, v uint32)   { binary.LittleEndian.PutUint32(b[off:], v) }
+func put64(b []byte, off int, v uint64)   { binary.LittleEndian.PutUint64(b[off:], v) }
+func putF64(b []byte, off int, v float64) { put64(b, off, math.Float64bits(v)) }
+
+func TestReadEnginePristineControl(t *testing.T) {
+	snap := hardeningSnapshot(t)
+	e, err := ReadEngine(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	if e.Len() == 0 {
+		t.Fatal("pristine snapshot loaded empty")
+	}
+}
+
+// TestReadEngineRejectsMutilatedSnapshots corrupts a valid snapshot in a
+// table of targeted ways; every mutation must fail cleanly with a wrapped
+// ErrBadSnapshot — no panic, no silent misread.
+func TestReadEngineRejectsMutilatedSnapshots(t *testing.T) {
+	snap := hardeningSnapshot(t)
+	l := layoutOf(t, snap)
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"magic flipped", func(b []byte) []byte { b[offMagic] ^= 0xFF; return b }},
+		{"summary bits zero", func(b []byte) []byte { put32(b, offSummaryBits, 0); return b }},
+		{"summary bits absurd", func(b []byte) []byte { put32(b, offSummaryBits, 1<<28); return b }},
+		{"summary k zero", func(b []byte) []byte { put32(b, offSummaryK, 0); return b }},
+		{"summary k negative", func(b []byte) []byte { put32(b, offSummaryK, uint32(0xFFFFFFFF)); return b }},
+		{"subvector negative", func(b []byte) []byte { put32(b, offSubVector, uint32(0xFFFFFFF0)); return b }},
+		{"granularity NaN", func(b []byte) []byte { putF64(b, offGranularity, math.NaN()); return b }},
+		{"granularity negative", func(b []byte) []byte { putF64(b, offGranularity, -0.5); return b }},
+		{"bands zero", func(b []byte) []byte { put32(b, offBands, 0); return b }},
+		{"rows negative", func(b []byte) []byte { put32(b, offRows, uint32(0xFFFFFFFF)); return b }},
+		{"table capacity negative", func(b []byte) []byte { put64(b, offTableCap, uint64(0xFFFFFFFFFFFFFFFF)); return b }},
+		{"table capacity absurd", func(b []byte) []byte { put64(b, offTableCap, 1<<40); return b }},
+		{"neighborhood negative", func(b []byte) []byte { put32(b, offNeighbor, uint32(0xFFFFFFFE)); return b }},
+		{"minscore NaN", func(b []byte) []byte { putF64(b, offMinScore, math.NaN()); return b }},
+		{"minscore out of range", func(b []byte) []byte { putF64(b, offMinScore, 4.0); return b }},
+		{"groupexpand absurd", func(b []byte) []byte { put32(b, offGroupExpand, 1<<24); return b }},
+		{"pca indim huge", func(b []byte) []byte { put32(b, offPCADims, 1<<19); return b }},
+		{"pca outdim > indim", func(b []byte) []byte { put32(b, offPCADims+4, 1<<20); return b }},
+		{"entry count negative", func(b []byte) []byte { put64(b, l.countOff, uint64(0xFFFFFFFFFFFFFFFF)); return b }},
+		{"entry count overclaims", func(b []byte) []byte {
+			put64(b, l.countOff, uint64(l.count)+5)
+			return b
+		}},
+		{"entry count underclaims leaves trailing data", func(b []byte) []byte {
+			put64(b, l.countOff, uint64(l.count)-1)
+			return b
+		}},
+		{"entry geometry mismatch", func(b []byte) []byte {
+			put32(b, l.entryOffs[0]+8, 64) // m no longer matches config bits
+			return b
+		}},
+		{"entry nbits exceeds m", func(b []byte) []byte {
+			// Claim more set bits than the filter has; the next reads then
+			// either overrun into the following entry or hit EOF.
+			put32(b, l.entryOffs[len(l.entryOffs)-1]+16, 1<<26)
+			return b
+		}},
+		{"duplicate photo id", func(b []byte) []byte {
+			id0 := binary.LittleEndian.Uint64(b[l.entryOffs[0]:])
+			put64(b, l.entryOffs[1], id0)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), snap...))
+			e, err := ReadEngine(bytes.NewReader(b))
+			if err == nil {
+				t.Fatalf("mutated snapshot accepted (engine len %d)", e.Len())
+			}
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("error not wrapped as ErrBadSnapshot: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadEngineTruncationSweep cuts the snapshot at every structural
+// boundary plus a byte-level sweep of the header; each prefix must be
+// rejected (the full file is the only acceptable length).
+func TestReadEngineTruncationSweep(t *testing.T) {
+	snap := hardeningSnapshot(t)
+	l := layoutOf(t, snap)
+
+	cuts := map[string]int{
+		"empty":             0,
+		"mid magic":         4,
+		"after magic":       8,
+		"mid config":        30,
+		"after config":      offPCADims,
+		"mid pca dims":      offPCADims + 5,
+		"mid pca data":      offPCADims + 8 + 13,
+		"before count":      l.countOff,
+		"mid count":         l.countOff + 3,
+		"mid entry header":  l.entryOffs[0] + 10,
+		"mid entry bits":    l.entryOffs[0] + l.entrySizes[0] - 2,
+		"before last entry": l.entryOffs[len(l.entryOffs)-1],
+		"one byte short":    len(snap) - 1,
+	}
+	for name, cut := range cuts {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadEngine(bytes.NewReader(snap[:cut])); err == nil {
+				t.Fatalf("truncation at %d/%d accepted", cut, len(snap))
+			} else if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("truncation error not wrapped as ErrBadSnapshot: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadEngineShortReads feeds the snapshot through a reader that
+// delivers one byte at a time, proving the decoder tolerates arbitrarily
+// fragmented reads (network restores see these).
+func TestReadEngineShortReads(t *testing.T) {
+	snap := hardeningSnapshot(t)
+	e, err := ReadEngine(oneByteReader{r: bytes.NewReader(snap)})
+	if err != nil {
+		t.Fatalf("fragmented read rejected: %v", err)
+	}
+	if e.Len() == 0 {
+		t.Fatal("fragmented read loaded empty")
+	}
+}
+
+type oneByteReader struct{ r *bytes.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}

@@ -200,6 +200,7 @@ func All() []Experiment {
 		{"fig7", "Figure 7: multicore-enabled parallel queries", RunFig7},
 		{"qps", "Throughput: sharded concurrent query engine (QueryBatch)", RunThroughput},
 		{"ingest", "Throughput: staged parallel ingest pipeline (InsertBatch)", RunIngest},
+		{"serve", "Serving: coalesced network queries vs naive goroutine-per-request", RunServe},
 		{"fig8a", "Figure 8a: network transmission overhead", RunFig8a},
 		{"fig8b", "Figure 8b: smartphone energy consumption", RunFig8b},
 		{"ablation", "Ablations: design-choice sweeps", RunAblation},

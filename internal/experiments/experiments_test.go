@@ -19,8 +19,8 @@ func tinyEnv() (*Env, *bytes.Buffer) {
 
 func TestAllRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(all))
 	}
 	for _, ex := range all {
 		got, err := ByID(ex.ID)

@@ -115,16 +115,16 @@ func RunIngest(e *Env) error {
 	}
 
 	path := filepath.Join(e.Opts().ArtifactDir, "BENCH_ingest.json")
-	if err := writeIngestReport(path, report); err != nil {
+	if err := writeJSONReport(path, report); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\n(index contents verified identical across worker counts; machine-readable\nresults written to %s)\n", path)
 	return nil
 }
 
-// writeIngestReport atomically-ish writes the JSON document (truncate+write
-// is fine for a CI artifact).
-func writeIngestReport(path string, report ingestReport) error {
+// writeJSONReport atomically-ish writes a machine-readable benchmark
+// document (truncate+write is fine for a CI artifact).
+func writeJSONReport(path string, report interface{}) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("experiments: creating %s: %w", path, err)

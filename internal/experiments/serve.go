@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/fastrepro/fast/internal/client"
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// serveClients is the concurrent-client count of the serving benchmark. The
+// acceptance bar for the coalesced path is set at this fan-in: with this
+// many clients hammering one index, micro-batching must beat the naive
+// goroutine-per-request shape.
+const serveClients = 64
+
+// serveRow is one serving-mode measurement in BENCH_serve.json.
+type serveRow struct {
+	Mode              string  `json:"mode"` // "naive" or "coalesced"
+	WindowMs          float64 `json:"window_ms"`
+	Clients           int     `json:"clients"`
+	Requests          int     `json:"requests"`
+	QPS               float64 `json:"qps"`
+	MeanNs            int64   `json:"mean_ns"`
+	P50Ns             int64   `json:"p50_ns"`
+	P95Ns             int64   `json:"p95_ns"`
+	P99Ns             int64   `json:"p99_ns"`
+	QueryBatches      int64   `json:"query_batches"`
+	QueryBatchMean    float64 `json:"query_batch_mean"`
+	QueryBatchMax     int64   `json:"query_batch_max"`
+	QueryDeduped      int64   `json:"query_deduped"`
+	AdmissionRejected int64   `json:"admission_rejected"`
+}
+
+// serveReport is the BENCH_serve.json document.
+type serveReport struct {
+	Experiment       string     `json:"experiment"`
+	GOMAXPROCS       int        `json:"gomaxprocs"`
+	Photos           int        `json:"photos"`
+	TopK             int        `json:"topk"`
+	IdenticalResults bool       `json:"identical_results"` // naive vs coalesced answers matched
+	CoalescedSpeedup float64    `json:"coalesced_speedup"` // coalesced QPS / naive QPS
+	Rows             []serveRow `json:"rows"`
+}
+
+// RunServe benchmarks the network serving layer end to end: a real
+// fastd-shaped server (internal/server over a TCP listener) is driven by 64
+// concurrent internal/client clients, once with coalescing disabled
+// (window 0: every request runs its own engine call, the naive shape) and
+// once with the micro-batching coalescer in front of Engine.QueryBatch.
+// Per-request latency percentiles and end-to-end QPS are printed and
+// written to BENCH_serve.json; the two modes' answers are verified
+// identical probe by probe before any throughput claim is made.
+func RunServe(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Serving: coalesced network queries vs naive goroutine-per-request")
+
+	ds, err := e.Dataset("Wuhan")
+	if err != nil {
+		return err
+	}
+	bp, err := e.Pipeline("Wuhan", "FAST")
+	if err != nil {
+		return err
+	}
+	eng, ok := bp.p.(*core.Engine)
+	if !ok {
+		return fmt.Errorf("experiments: FAST pipeline is not a core.Engine")
+	}
+
+	nProbes := e.Opts().Queries
+	if nProbes < 8 {
+		nProbes = 8
+	}
+	qs, err := ds.Queries(nProbes, e.Opts().Seed+7)
+	if err != nil {
+		return err
+	}
+	probes := make([]*simimg.Image, len(qs))
+	for i, q := range qs {
+		probes[i] = q.Probe
+	}
+	const topK = 20
+	perClient := 6
+	total := serveClients * perClient
+
+	fmt.Fprintf(w, "host: %d hardware thread(s); %d photos indexed, %d clients x %d queries each (topK %d)\n\n",
+		runtime.NumCPU(), eng.Len(), serveClients, perClient, topK)
+	fmt.Fprintf(w, "%-10s | %10s %10s %10s %10s %10s | %s\n",
+		"mode", "qps", "p50", "p95", "p99", "mean", "batching")
+
+	report := serveReport{
+		Experiment: "serve",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Photos:     eng.Len(),
+		TopK:       topK,
+	}
+	modes := []struct {
+		name   string
+		window time.Duration
+	}{
+		{"naive", 0},
+		{"coalesced", 2 * time.Millisecond},
+	}
+	answers := make([][][]core.SearchResult, len(modes))
+	for mi, mode := range modes {
+		row, ans, err := runServeMode(eng, probes, mode.window, topK, perClient)
+		if err != nil {
+			return fmt.Errorf("experiments: serve mode %s: %w", mode.name, err)
+		}
+		row.Mode = mode.name
+		answers[mi] = ans
+		batching := "off"
+		if row.QueryBatches > 0 {
+			batching = fmt.Sprintf("%d batches, mean %.1f, max %d, %d collapsed",
+				row.QueryBatches, row.QueryBatchMean, row.QueryBatchMax, row.QueryDeduped)
+		}
+		fmt.Fprintf(w, "%-10s | %10.1f %10s %10s %10s %10s | %s\n",
+			mode.name, row.QPS,
+			fmtDur(time.Duration(row.P50Ns)), fmtDur(time.Duration(row.P95Ns)),
+			fmtDur(time.Duration(row.P99Ns)), fmtDur(time.Duration(row.MeanNs)), batching)
+		report.Rows = append(report.Rows, row)
+	}
+
+	// Both modes must answer every probe identically — the coalescer adds
+	// batching, not approximation.
+	report.IdenticalResults = true
+	for pi := range probes {
+		a, b := answers[0][pi], answers[1][pi]
+		if len(a) != len(b) {
+			report.IdenticalResults = false
+			break
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				report.IdenticalResults = false
+				break
+			}
+		}
+	}
+	if !report.IdenticalResults {
+		return fmt.Errorf("experiments: serve modes returned different answers for the same probes (%d checked)", len(probes))
+	}
+	if report.Rows[0].QPS > 0 {
+		report.CoalescedSpeedup = report.Rows[1].QPS / report.Rows[0].QPS
+	}
+	fmt.Fprintf(w, "\nanswers identical across modes (%d probes); coalesced/naive QPS = %.2fx\n",
+		len(probes), report.CoalescedSpeedup)
+	fmt.Fprintf(w, "(%d requests per mode; serving includes HTTP transport, JSON codec, admission)\n", total)
+
+	path := filepath.Join(e.Opts().ArtifactDir, "BENCH_serve.json")
+	if err := writeJSONReport(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "machine-readable results written to %s\n", path)
+	return nil
+}
+
+// runServeMode boots one server configuration on a loopback listener, runs
+// the concurrent client load against it, and returns the measured row plus
+// the per-probe answers (queried sequentially after the timed window, for
+// the cross-mode identity check).
+func runServeMode(eng *core.Engine, probes []*simimg.Image, window time.Duration, topK, perClient int) (serveRow, [][]core.SearchResult, error) {
+	srv, err := server.New(server.Config{
+		Engine:   eng,
+		Window:   window,
+		BatchMax: 32,
+		// Generous admission so this measures coalescing, not backpressure:
+		// all clients fit in the building at once.
+		MaxInflight: 4 * serveClients,
+		MaxQueue:    8 * serveClients,
+	})
+	if err != nil {
+		return serveRow{}, nil, err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveRow{}, nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	// A pooled transport sized for the fan-in, so connection churn does not
+	// pollute the latency distribution.
+	transport := &http.Transport{
+		MaxIdleConns:        2 * serveClients,
+		MaxIdleConnsPerHost: 2 * serveClients,
+	}
+	defer transport.CloseIdleConnections()
+	c := client.New("http://"+ln.Addr().String(),
+		client.WithHTTPClient(&http.Client{Transport: transport, Timeout: 60 * time.Second}),
+		client.WithRetries(4, 10*time.Millisecond))
+	ctx := context.Background()
+
+	// Warm the connections and the engine's caches outside the timed window.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Query(ctx, probes[i%len(probes)], topK); err != nil {
+			return serveRow{}, nil, fmt.Errorf("warmup query: %w", err)
+		}
+	}
+
+	lat := metrics.NewLatency()
+	errCh := make(chan error, serveClients)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for cl := 0; cl < serveClients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				probe := probes[(cl*perClient+i)%len(probes)]
+				q0 := time.Now()
+				if _, err := c.Query(ctx, probe, topK); err != nil {
+					errCh <- err
+					return
+				}
+				lat.Record(time.Since(q0))
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return serveRow{}, nil, err
+	}
+
+	// Sequential per-probe answers for the identity check.
+	answers := make([][]core.SearchResult, len(probes))
+	for pi, probe := range probes {
+		res, err := c.Query(ctx, probe, topK)
+		if err != nil {
+			return serveRow{}, nil, fmt.Errorf("identity query %d: %w", pi, err)
+		}
+		answers[pi] = res
+	}
+
+	st := srv.Stats()
+	sum := lat.Summarize()
+	row := serveRow{
+		WindowMs:          float64(window.Microseconds()) / 1000,
+		Clients:           serveClients,
+		Requests:          sum.Count,
+		QPS:               float64(sum.Count) / elapsed.Seconds(),
+		MeanNs:            sum.Mean.Nanoseconds(),
+		P50Ns:             sum.Median.Nanoseconds(),
+		P95Ns:             sum.P95.Nanoseconds(),
+		P99Ns:             sum.P99.Nanoseconds(),
+		QueryBatches:      st.QueryBatches,
+		QueryBatchMean:    st.QueryBatchMean,
+		QueryBatchMax:     st.QueryBatchMax,
+		QueryDeduped:      st.QueryDeduped,
+		AdmissionRejected: st.AdmissionRejected,
+	}
+	return row, answers, nil
+}

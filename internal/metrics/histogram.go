@@ -128,6 +128,7 @@ func (h *Histogram) Summarize() Summary {
 	s.Max = h.max
 	s.Median = h.quantileLocked(0.5)
 	s.P90 = h.quantileLocked(0.9)
+	s.P95 = h.quantileLocked(0.95)
 	s.P99 = h.quantileLocked(0.99)
 	return s
 }

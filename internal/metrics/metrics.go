@@ -37,10 +37,11 @@ func (l *Latency) Count() int {
 
 // Summary holds order statistics of a latency distribution.
 type Summary struct {
-	Count              int
-	Mean, Median       time.Duration
-	P90, P99, Min, Max time.Duration
-	Total              time.Duration
+	Count         int
+	Mean, Median  time.Duration
+	P90, P95      time.Duration
+	P99, Min, Max time.Duration
+	Total         time.Duration
 }
 
 // Summarize computes the distribution summary. An empty collector returns a
@@ -62,6 +63,7 @@ func (l *Latency) Summarize() Summary {
 	s.Mean = s.Total / time.Duration(s.Count)
 	s.Median = sorted[s.Count/2]
 	s.P90 = sorted[min(s.Count*90/100, s.Count-1)]
+	s.P95 = sorted[min(s.Count*95/100, s.Count-1)]
 	s.P99 = sorted[min(s.Count*99/100, s.Count-1)]
 	s.Min = sorted[0]
 	s.Max = sorted[s.Count-1]

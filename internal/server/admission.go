@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"github.com/fastrepro/fast/internal/metrics"
+)
+
+// ErrOverloaded is returned by the admission controller when the waiting
+// line is full; handlers translate it to 429 with a Retry-After header.
+var ErrOverloaded = errors.New("server: overloaded, retry later")
+
+// admission bounds the work the server accepts: at most maxInflight
+// requests execute concurrently, and at most maxQueue more may wait for a
+// slot. Anything beyond that is rejected immediately — the paper's serving
+// evaluation (500 concurrent clients) only works because the index tier is
+// never handed more concurrent work than it can schedule, and an explicit
+// 429 lets well-behaved clients back off instead of timing out.
+type admission struct {
+	slots    chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+	rejected *metrics.Counter
+}
+
+func newAdmission(maxInflight, maxQueue int, rejected *metrics.Counter) *admission {
+	a := &admission{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+		rejected: rejected,
+	}
+	for i := 0; i < maxInflight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if none is
+// free. It returns ErrOverloaded when the queue is full and the context's
+// error if the caller gave up first. Every successful acquire must be paired
+// with release.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case <-a.slots:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.rejected.Inc()
+		return ErrOverloaded
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case <-a.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { a.slots <- struct{}{} }

@@ -1,0 +1,145 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/server"
+)
+
+// TestServeSoak hammers one server from four directions at once — coalesced
+// queries, coalesced inserts followed by deletes, hot snapshots (validated
+// by reloading them), and stats polls — to give the race detector every
+// interleaving the serving layer promises to survive: QueryBatch readers
+// against InsertBatch/Delete writers against WriteTo under the engine's
+// read lock. Run it under `go test -race` (the CI race job does).
+func TestServeSoak(t *testing.T) {
+	eng, ds := baseEngine(t)
+	s, _, c := startServer(t, server.Config{
+		Engine:   eng,
+		Window:   time.Millisecond,
+		BatchMax: 16,
+	})
+
+	soak := 2 * time.Second
+	queryClients := 4
+	if testing.Short() {
+		soak = 500 * time.Millisecond
+		queryClients = 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), soak)
+	defer cancel()
+
+	qs, err := ds.Queries(4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var queries, inserts, snapshots atomic.Int64
+	errs := make(chan error, queryClients+3)
+	var wg sync.WaitGroup
+	running := func(err error) bool {
+		// Work racing the deadline legitimately fails with a context error;
+		// anything else is a real defect.
+		if err == nil {
+			return true
+		}
+		if ctx.Err() != nil {
+			return false
+		}
+		errs <- err
+		return false
+	}
+
+	for cl := 0; cl < queryClients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				res, err := c.Query(ctx, qs[(cl+i)%len(qs)].Probe, 15)
+				if !running(err) {
+					return
+				}
+				if len(res) == 0 {
+					errs <- errNoResults
+					return
+				}
+				queries.Add(1)
+			}
+		}(cl)
+	}
+
+	// Mutator: insert fresh photos through the coalesced path, then delete
+	// them, so the index churns while staying bounded.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ctx.Err() == nil; i++ {
+			p := ds.FreshPhoto(9_300_000+i, int64(i))
+			if !running(c.Insert(ctx, p.ID, p.Img)) {
+				return
+			}
+			inserts.Add(1)
+			if !running(c.Delete(ctx, p.ID)) {
+				return
+			}
+		}
+	}()
+
+	// Snapshotter: cut hot snapshots while everything above runs, and prove
+	// each one is a consistent point-in-time image by reloading it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var buf bytes.Buffer
+		for ctx.Err() == nil {
+			buf.Reset()
+			if _, err := c.Snapshot(ctx, &buf); err != nil {
+				running(err)
+				return
+			}
+			if _, err := core.ReadEngine(bytes.NewReader(buf.Bytes())); err != nil {
+				if ctx.Err() == nil {
+					errs <- err
+				}
+				return
+			}
+			snapshots.Add(1)
+		}
+	}()
+
+	// Stats poller: reads every counter the workers are writing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			if _, err := c.Stats(ctx); !running(err) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("soak worker failed: %v", err)
+	}
+	if queries.Load() == 0 || inserts.Load() == 0 || snapshots.Load() == 0 {
+		t.Fatalf("soak did not exercise all paths: %d queries, %d inserts, %d snapshots",
+			queries.Load(), inserts.Load(), snapshots.Load())
+	}
+	t.Logf("soak: %d queries, %d insert/delete pairs, %d verified hot snapshots (deduped %d)",
+		queries.Load(), inserts.Load(), snapshots.Load(), s.Stats().QueryDeduped)
+}
+
+var errNoResults = &emptyResultsError{}
+
+type emptyResultsError struct{}
+
+func (*emptyResultsError) Error() string { return "query returned no results during soak" }

@@ -1,0 +1,554 @@
+// Package server is the network serving layer of the FAST reproduction:
+// an HTTP/JSON API over net/http wrapping a core.Engine, with the three
+// mechanisms a query index needs to survive network fan-in:
+//
+//   - admission control: a slot semaphore plus a bounded waiting line;
+//     work beyond both limits is refused with 429 + Retry-After instead of
+//     being allowed to pile onto the scheduler;
+//   - request coalescing: concurrently arriving queries are micro-batched
+//     (up to BatchMax probes or Window, whichever first) into single
+//     Engine.QueryBatch calls so the sharded batch path — not one goroutine
+//     per request — does the work; inserts coalesce into InsertBatch the
+//     same way;
+//   - hot snapshots: /v1/snapshot streams the index through Engine.WriteTo
+//     under the engine's read lock, so queries keep flowing while the
+//     snapshot is cut.
+//
+// Endpoints: POST /v1/query, /v1/insert, /v1/delete, /v1/restore;
+// GET/POST /v1/snapshot; GET /v1/stats, /healthz.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// Config parameterizes the serving layer.
+type Config struct {
+	// Engine is the index to serve; required.
+	Engine *core.Engine
+	// Window is the coalescing window: after the first probe of a batch
+	// arrives, the collector waits at most this long for more before
+	// dispatching. 0 disables coalescing — every request runs its own
+	// engine call (the naive shape the serve benchmark compares against).
+	Window time.Duration
+	// BatchMax caps probes per coalesced batch; 0 means 32.
+	BatchMax int
+	// BatchWorkers is the worker count passed to Engine.QueryBatch /
+	// Engine.InsertBatch per dispatched batch; 0 means GOMAXPROCS.
+	BatchWorkers int
+	// MaxInflight bounds concurrently executing requests; 0 means
+	// 8*GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it the
+	// server answers 429. 0 means 4*MaxInflight.
+	MaxQueue int
+	// TopKLimit caps per-query result budgets; 0 means 1000.
+	TopKLimit int
+	// MaxBodyBytes caps request bodies; 0 means 256 MB (restores carry
+	// whole snapshots).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.TopKLimit <= 0 {
+		c.TopKLimit = 1000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// serverMetrics aggregates the serving-layer counters /v1/stats reports.
+type serverMetrics struct {
+	queries      metrics.Counter
+	queryErrors  metrics.Counter
+	queryDeduped metrics.Counter
+	inserts      metrics.Counter
+	insertErrors metrics.Counter
+	deletes      metrics.Counter
+	rejected     metrics.Counter
+	snapshots    metrics.Counter
+	queryBatch   metrics.IntDist // probes per dispatched query batch
+	insertBatch  metrics.IntDist // photos per dispatched insert batch
+	queueWait    *metrics.Histogram
+}
+
+// Server wraps an engine with the HTTP serving layer. Construct with New,
+// mount Handler on an http.Server, and on shutdown call BeginDrain, then
+// http.Server.Shutdown, then Close (in that order — Close assumes no
+// handler is still submitting work).
+type Server struct {
+	cfg Config
+
+	engineMu sync.RWMutex
+	engine   *core.Engine
+
+	adm       *admission
+	queries   *coalescer[queryJob]
+	inserts   *coalescer[insertJob]
+	met       serverMetrics
+	draining  atomic.Bool
+	closeOnce sync.Once
+	start     time.Time
+}
+
+type queryJob struct {
+	img       *simimg.Image
+	topK      int
+	submitted time.Time
+	resp      chan queryResp
+}
+
+type queryResp struct {
+	results []core.SearchResult
+	err     error
+}
+
+type insertJob struct {
+	photo     *simimg.Photo
+	submitted time.Time
+	resp      chan error
+}
+
+// New builds a Server around cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: config needs an engine")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		engine: cfg.Engine,
+		start:  time.Now(),
+	}
+	s.met.queueWait = metrics.NewHistogram()
+	s.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, &s.met.rejected)
+	if cfg.Window > 0 {
+		s.queries = newCoalescer(cfg.Window, cfg.BatchMax, s.dispatchQueries)
+		s.inserts = newCoalescer(cfg.Window, cfg.BatchMax, s.dispatchInserts)
+	}
+	return s, nil
+}
+
+// Engine returns the currently served engine (it changes on /v1/restore).
+func (s *Server) Engine() *core.Engine {
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	return s.engine
+}
+
+func (s *Server) swapEngine(e *core.Engine) {
+	s.engineMu.Lock()
+	s.engine = e
+	s.engineMu.Unlock()
+}
+
+// BeginDrain makes the server refuse new work (503 on every /v1 endpoint
+// and /healthz) while requests already admitted keep running. The daemon
+// calls it before http.Server.Shutdown so load balancers fail the health
+// check first.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the coalescers after their in-flight batches finish. It must
+// only be called once no handler is still submitting — i.e. after
+// http.Server.Shutdown has returned. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.queries != nil {
+			s.queries.close()
+		}
+		if s.inserts != nil {
+			s.inserts.close()
+		}
+	})
+}
+
+// Handler returns the /v1 API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/insert", s.handleInsert)
+	mux.HandleFunc("/v1/delete", s.handleDelete)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/restore", s.handleRestore)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// gate runs the common front half of every engine-touching handler:
+// method check, drain check, JSON decode (body-limited) and admission.
+// It returns false after writing the refusal; on true the caller owns one
+// admission slot and must defer s.adm.release().
+func (s *Server) gate(w http.ResponseWriter, r *http.Request, method string, body interface{}) bool {
+	if r.Method != method {
+		writeError(w, http.StatusMethodNotAllowed, "use %s", method)
+		return false
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	if body != nil {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err := dec.Decode(body); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return false
+		}
+	}
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		} else {
+			writeError(w, http.StatusRequestTimeout, "%v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.gate(w, r, http.MethodPost, &req) {
+		return
+	}
+	defer s.adm.release()
+	img, err := DecodeImage(req.Image)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 50
+	}
+	if topK > s.cfg.TopKLimit {
+		topK = s.cfg.TopKLimit
+	}
+
+	var results []core.SearchResult
+	if s.queries != nil {
+		job := queryJob{img: img, topK: topK, submitted: time.Now(), resp: make(chan queryResp, 1)}
+		s.queries.submit(job)
+		resp := <-job.resp
+		results, err = resp.results, resp.err
+	} else {
+		results, err = s.Engine().Query(img, topK)
+	}
+	if err != nil {
+		s.met.queryErrors.Inc()
+		writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		return
+	}
+	s.met.queries.Inc()
+	out := QueryResponse{Results: make([]WireResult, len(results))}
+	for i, res := range results {
+		out.Results[i] = WireResult{ID: res.ID, Score: res.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !s.gate(w, r, http.MethodPost, &req) {
+		return
+	}
+	defer s.adm.release()
+	img, err := DecodeImage(req.Image)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	photo := &simimg.Photo{ID: req.ID, Img: img}
+	if s.inserts != nil {
+		job := insertJob{photo: photo, submitted: time.Now(), resp: make(chan error, 1)}
+		s.inserts.submit(job)
+		err = <-job.resp
+	} else {
+		err = s.Engine().Insert(photo)
+	}
+	if err != nil {
+		s.met.insertErrors.Inc()
+		writeError(w, http.StatusUnprocessableEntity, "insert failed: %v", err)
+		return
+	}
+	s.met.inserts.Inc()
+	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !s.gate(w, r, http.MethodPost, &req) {
+		return
+	}
+	defer s.adm.release()
+	if err := s.Engine().Delete(req.ID); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "delete failed: %v", err)
+		return
+	}
+	s.met.deletes.Inc()
+	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+}
+
+// handleSnapshot streams the index. It deliberately bypasses admission —
+// the snapshot holds only the engine's read lock, so it coexists with the
+// query load the admission controller is budgeting for.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := s.Engine().WriteTo(w); err != nil {
+		// Headers are already gone; the client sees a truncated body and
+		// ReadEngine rejects it.
+		return
+	}
+	s.met.snapshots.Inc()
+}
+
+// handleRestore replaces the served engine with one deserialized from the
+// request body. In-flight requests against the old engine finish against
+// it; requests admitted afterwards see the new one.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	e, err := core.ReadEngine(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "restore failed: %v", err)
+		return
+	}
+	s.swapEngine(e)
+	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats assembles the /v1/stats document.
+func (s *Server) Stats() Stats {
+	est := s.Engine().Stats()
+	qw := s.met.queueWait.Summarize()
+	return Stats{
+		Queries:           s.met.queries.Load(),
+		QueryErrors:       s.met.queryErrors.Load(),
+		QueryDeduped:      s.met.queryDeduped.Load(),
+		Inserts:           s.met.inserts.Load(),
+		InsertErrors:      s.met.insertErrors.Load(),
+		Deletes:           s.met.deletes.Load(),
+		AdmissionRejected: s.met.rejected.Load(),
+		Snapshots:         s.met.snapshots.Load(),
+		QueryBatches:      s.met.queryBatch.Count(),
+		QueryBatchMean:    s.met.queryBatch.Mean(),
+		QueryBatchMax:     s.met.queryBatch.Max(),
+		InsertBatches:     s.met.insertBatch.Count(),
+		InsertBatchMean:   s.met.insertBatch.Mean(),
+		InsertBatchMax:    s.met.insertBatch.Max(),
+		QueueWaitMeanNs:   qw.Mean.Nanoseconds(),
+		QueueWaitP99Ns:    qw.P99.Nanoseconds(),
+		Draining:          s.draining.Load(),
+		UptimeNs:          time.Since(s.start).Nanoseconds(),
+		Photos:            est.Photos,
+		Entries:           est.Entries,
+		IndexBytes:        est.IndexBytes,
+		LSHShards:         est.LSHShards,
+		TableShards:       est.TableShards,
+	}
+}
+
+// --- coalesced dispatch ---
+
+// dispatchQueries answers one micro-batch through Engine.QueryBatch, after
+// collapsing duplicate probes: concurrent requests for the same image (hot
+// queries are the norm under real fan-in) share one engine call, the same
+// way a CDN collapses identical in-flight fetches. The per-job topK may
+// differ across the batch: the engine runs at the batch maximum and each
+// job's reply is trimmed to its own budget, which is exact because a
+// query's result list at a smaller topK is a prefix of the same query's
+// list at a larger one (ranking happens before truncation). Collapsed
+// duplicates therefore receive byte-identical answers to what a private
+// engine call would have produced.
+func (s *Server) dispatchQueries(batch []queryJob) {
+	now := time.Now()
+	maxK := 0
+	for _, j := range batch {
+		if j.topK > maxK {
+			maxK = j.topK
+		}
+		s.met.queueWait.Record(now.Sub(j.submitted))
+	}
+	s.met.queryBatch.Record(int64(len(batch)))
+
+	// Group jobs by probe content. Hash buckets are verified pixel-for-pixel
+	// so a collision can never splice two distinct probes together.
+	type group struct {
+		img  *simimg.Image
+		jobs []int
+	}
+	groups := make([]group, 0, len(batch))
+	byHash := make(map[uint64][]int, len(batch))
+groupJobs:
+	for i, j := range batch {
+		h := hashImage(j.img)
+		for _, gi := range byHash[h] {
+			if sameImage(groups[gi].img, j.img) {
+				groups[gi].jobs = append(groups[gi].jobs, i)
+				continue groupJobs
+			}
+		}
+		byHash[h] = append(byHash[h], len(groups))
+		groups = append(groups, group{img: j.img, jobs: []int{i}})
+	}
+	if d := len(batch) - len(groups); d > 0 {
+		s.met.queryDeduped.Add(int64(d))
+	}
+
+	imgs := make([]*simimg.Image, len(groups))
+	for gi, g := range groups {
+		imgs[gi] = g.img
+	}
+	brs := s.Engine().QueryBatch(imgs, maxK, s.cfg.BatchWorkers, nil)
+	for gi, g := range groups {
+		for _, i := range g.jobs {
+			j := batch[i]
+			res, err := brs[gi].Results, brs[gi].Err
+			if err == nil && len(res) > j.topK {
+				res = res[:j.topK]
+			}
+			j.resp <- queryResp{results: res, err: err}
+		}
+	}
+}
+
+// hashImage fingerprints a probe's dimensions and exact pixel bits (FNV-1a).
+func hashImage(im *simimg.Image) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(im.W))
+	mix(uint64(im.H))
+	for _, p := range im.Pix {
+		mix(math.Float64bits(p))
+	}
+	return h
+}
+
+// sameImage reports exact equality of two rasters.
+func sameImage(a, b *simimg.Image) bool {
+	if a.W != b.W || a.H != b.H || len(a.Pix) != len(b.Pix) {
+		return false
+	}
+	for i := range a.Pix {
+		if math.Float64bits(a.Pix[i]) != math.Float64bits(b.Pix[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchInserts commits one micro-batch through Engine.InsertBatch.
+// InsertBatch stops at the first failing photo; the loop reports that
+// failure to its requester and resumes with the remainder, so one bad
+// insert (e.g. a duplicate ID) does not poison the requests coalesced
+// behind it.
+func (s *Server) dispatchInserts(batch []insertJob) {
+	now := time.Now()
+	photos := make([]*simimg.Photo, len(batch))
+	for i, j := range batch {
+		photos[i] = j.photo
+		s.met.queueWait.Record(now.Sub(j.submitted))
+	}
+	s.met.insertBatch.Record(int64(len(batch)))
+
+	rest := batch
+	for len(rest) > 0 {
+		ps := make([]*simimg.Photo, len(rest))
+		for i, j := range rest {
+			ps[i] = j.photo
+		}
+		st, err := s.Engine().InsertBatch(ps, s.cfg.BatchWorkers)
+		for i := 0; i < st.Photos && i < len(rest); i++ {
+			rest[i].resp <- nil
+		}
+		if err == nil {
+			break
+		}
+		if st.Photos >= len(rest) {
+			break
+		}
+		rest[st.Photos].resp <- err
+		rest = rest[st.Photos+1:]
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// The wire format of the /v1 API. Probe and insert images travel as raw
+// float64 rasters (little-endian, base64 in JSON) rather than quantized
+// PGM, so a query answered over the network is bit-identical to the same
+// query issued against the embedded engine — the serving layer adds
+// transport, not approximation.
+
+// WireImage is a grayscale raster in transit.
+type WireImage struct {
+	W   int    `json:"w"`
+	H   int    `json:"h"`
+	Pix string `json:"pix"` // base64(std) of W*H little-endian float64s
+}
+
+// maxWirePixels bounds decoded rasters (64 MB of float64s) so a malicious
+// request cannot ask the server to allocate unbounded memory.
+const maxWirePixels = 1 << 23
+
+// EncodeImage converts a raster to its wire form.
+func EncodeImage(im *simimg.Image) (WireImage, error) {
+	if im == nil || im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H {
+		return WireImage{}, fmt.Errorf("server: malformed image")
+	}
+	buf := make([]byte, 8*len(im.Pix))
+	for i, v := range im.Pix {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return WireImage{W: im.W, H: im.H, Pix: base64.StdEncoding.EncodeToString(buf)}, nil
+}
+
+// DecodeImage converts a wire image back to a raster, validating the
+// dimensions against the payload length.
+func DecodeImage(wi WireImage) (*simimg.Image, error) {
+	if wi.W <= 0 || wi.H <= 0 || wi.W*wi.H > maxWirePixels {
+		return nil, fmt.Errorf("server: unreasonable image dimensions %dx%d", wi.W, wi.H)
+	}
+	buf, err := base64.StdEncoding.DecodeString(wi.Pix)
+	if err != nil {
+		return nil, fmt.Errorf("server: image payload: %w", err)
+	}
+	if len(buf) != 8*wi.W*wi.H {
+		return nil, fmt.Errorf("server: image payload is %d bytes, want %d for %dx%d",
+			len(buf), 8*wi.W*wi.H, wi.W, wi.H)
+	}
+	im := simimg.New(wi.W, wi.H)
+	for i := range im.Pix {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("server: non-finite pixel at index %d", i)
+		}
+		im.Pix[i] = v
+	}
+	return im, nil
+}
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	Image WireImage `json:"image"`
+	TopK  int       `json:"topk"`
+}
+
+// WireResult is one ranked hit.
+type WireResult struct {
+	ID    uint64  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// QueryResponse is the body of a successful /v1/query.
+type QueryResponse struct {
+	Results []WireResult `json:"results"`
+}
+
+// InsertRequest is the body of POST /v1/insert.
+type InsertRequest struct {
+	ID    uint64    `json:"id"`
+	Image WireImage `json:"image"`
+}
+
+// DeleteRequest is the body of POST /v1/delete.
+type DeleteRequest struct {
+	ID uint64 `json:"id"`
+}
+
+// OKResponse acknowledges a mutation.
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Stats is the body of GET /v1/stats. Field-by-field documentation lives
+// in DESIGN.md ("Serving layer"); briefly: Queries/Inserts/Deletes count
+// requests that reached the engine, AdmissionRejected counts 429s,
+// QueryBatches/InsertBatches count coalesced engine calls with
+// *BatchMean/Max their probe counts, and QueueWait* are the microbatcher's
+// collection delay percentiles in nanoseconds.
+type Stats struct {
+	// Serving counters.
+	Queries           int64   `json:"queries"`            // queries answered by the engine
+	QueryErrors       int64   `json:"query_errors"`       // queries that returned an engine error
+	QueryDeduped      int64   `json:"query_deduped"`      // queries answered by a batch-mate's collapsed engine call
+	Inserts           int64   `json:"inserts"`            // photos inserted
+	InsertErrors      int64   `json:"insert_errors"`      // inserts that returned an engine error
+	Deletes           int64   `json:"deletes"`            // photos deleted
+	AdmissionRejected int64   `json:"admission_rejected"` // requests refused with 429 (queue full)
+	Snapshots         int64   `json:"snapshots"`          // hot snapshots streamed
+	QueryBatches      int64   `json:"query_batches"`      // coalesced QueryBatch dispatches
+	QueryBatchMean    float64 `json:"query_batch_mean"`   // mean probes per dispatched query batch
+	QueryBatchMax     int64   `json:"query_batch_max"`    // largest dispatched query batch
+	InsertBatches     int64   `json:"insert_batches"`     // coalesced InsertBatch dispatches
+	InsertBatchMean   float64 `json:"insert_batch_mean"`  // mean photos per dispatched insert batch
+	InsertBatchMax    int64   `json:"insert_batch_max"`   // largest dispatched insert batch
+	QueueWaitMeanNs   int64   `json:"queue_wait_mean_ns"` // mean coalescing delay (submit -> dispatch)
+	QueueWaitP99Ns    int64   `json:"queue_wait_p99_ns"`  // p99 coalescing delay
+	Draining          bool    `json:"draining"`           // true once graceful shutdown began
+	UptimeNs          int64   `json:"uptime_ns"`          // time since the server was constructed
+
+	// Engine state (point-in-time, mutually consistent).
+	Photos      int   `json:"photos"`       // live indexed photos
+	Entries     int   `json:"entries"`      // entry slots including deletion tombstones
+	IndexBytes  int64 `json:"index_bytes"`  // resident index size
+	LSHShards   int   `json:"lsh_shards"`   // lock shards per LSH band
+	TableShards int   `json:"table_shards"` // lock shards of the flat cuckoo table
+}
