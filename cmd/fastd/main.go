@@ -98,9 +98,17 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v (continuing)", err)
+		// Drain timeout: handlers are still running, so server.Close's
+		// precondition (no handler still submitting to the coalescers) does
+		// not hold — closing the job channels under them would panic a
+		// straggler on send. Force-close the connections and leave the
+		// coalescers alone; the process is about to exit, and anything not
+		// yet acknowledged is by definition not owed to a client.
+		log.Printf("shutdown: %v (forcing close)", err)
+		httpSrv.Close()
+	} else {
+		srv.Close()
 	}
-	srv.Close()
 
 	if *finalSnap != "" {
 		if err := writeSnapshot(srv.Engine(), *finalSnap); err != nil {

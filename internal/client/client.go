@@ -24,6 +24,7 @@ import (
 type Client struct {
 	base      string
 	hc        *http.Client
+	timeout   time.Duration // per-attempt timeout; applied after options so WithTimeout/WithHTTPClient compose in any order
 	retries   int           // attempts beyond the first
 	retryWait time.Duration // base backoff, doubled per attempt
 }
@@ -35,9 +36,11 @@ type Option func(*Client)
 // listener's client; production tunes pooling).
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
-// WithTimeout sets the per-attempt timeout (default 30s).
+// WithTimeout sets the per-attempt timeout (default 30s). It composes with
+// WithHTTPClient in either order: the timeout is applied to the final
+// transport once all options have run.
 func WithTimeout(d time.Duration) Option {
-	return func(c *Client) { c.hc.Timeout = d }
+	return func(c *Client) { c.timeout = d }
 }
 
 // WithRetries sets how many times a failed request is retried and the base
@@ -58,6 +61,13 @@ func New(base string, opts ...Option) *Client {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.timeout > 0 {
+		// Copy rather than mutate: the http.Client may be caller-owned
+		// (WithHTTPClient) and shared with other code.
+		hc := *c.hc
+		hc.Timeout = c.timeout
+		c.hc = &hc
 	}
 	return c
 }

@@ -73,6 +73,26 @@ func TestRetriesExhausted(t *testing.T) {
 	}
 }
 
+// TestTimeoutSurvivesOptionOrder pins the fix for order-dependent options:
+// WithTimeout must stick whether it runs before or after WithHTTPClient,
+// and must not mutate the caller's http.Client.
+func TestTimeoutSurvivesOptionOrder(t *testing.T) {
+	for _, opts := range [][]Option{
+		{WithTimeout(5 * time.Second), WithHTTPClient(&http.Client{})},
+		{WithHTTPClient(&http.Client{}), WithTimeout(5 * time.Second)},
+	} {
+		c := New("http://127.0.0.1:1", opts...)
+		if c.hc.Timeout != 5*time.Second {
+			t.Errorf("opts %v: timeout = %v, want 5s", opts, c.hc.Timeout)
+		}
+	}
+	shared := &http.Client{Timeout: time.Minute}
+	New("http://127.0.0.1:1", WithHTTPClient(shared), WithTimeout(time.Second))
+	if shared.Timeout != time.Minute {
+		t.Errorf("caller's http.Client mutated: timeout = %v, want 1m", shared.Timeout)
+	}
+}
+
 func TestContextCancelsRetryLoop(t *testing.T) {
 	hs, _ := stub(t, http.StatusServiceUnavailable)
 	c := New(hs.URL, WithRetries(10, 50*time.Millisecond))

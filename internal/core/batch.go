@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -54,7 +55,7 @@ func (e *Engine) QueryBatch(imgs []*simimg.Image, topK, workers int, lat *metric
 					return
 				}
 				t0 := time.Now()
-				res, err := e.QueryParallel(imgs[i], topK, 1)
+				res, err := e.queryRecovering(imgs[i], topK)
 				d := time.Since(t0)
 				out[i] = BatchResult{Results: res, Err: err, Latency: d}
 				if err == nil && lat != nil {
@@ -65,4 +66,18 @@ func (e *Engine) QueryBatch(imgs []*simimg.Image, topK, workers int, lat *metric
 	}
 	wg.Wait()
 	return out
+}
+
+// queryRecovering runs one probe, converting a panic (e.g. from a
+// malformed image that slipped past upstream validation) into that probe's
+// error. The panic would otherwise unwind a batch worker goroutine, where
+// no caller — in the serving tier, no net/http recover — can contain it,
+// taking down the whole process instead of one query.
+func (e *Engine) queryRecovering(img *simimg.Image, topK int) (res []SearchResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("core: query panicked: %v", p)
+		}
+	}()
+	return e.QueryParallel(img, topK, 1)
 }

@@ -153,7 +153,7 @@ func (e *Engine) BuildParallel(photos []*simimg.Photo, workers int) (BuildStats,
 
 	pca := e.pcasift
 	err := runIngest(photos, workers,
-		func(img *simimg.Image) (prepared, error) { return e.prepareSummary(pca, img) },
+		func(img *simimg.Image) (prepared, error) { return e.prepareRecovering(pca, img) },
 		func(i int, pr prepared) error {
 			t0 := time.Now()
 			if err := e.storeLocked(photos[i].ID, pr.sparse); err != nil {
@@ -191,7 +191,7 @@ func (e *Engine) InsertBatch(photos []*simimg.Photo, workers int) (BuildStats, e
 	}
 
 	err := runIngest(photos, workers,
-		func(img *simimg.Image) (prepared, error) { return e.prepareSummary(pca, img) },
+		func(img *simimg.Image) (prepared, error) { return e.prepareRecovering(pca, img) },
 		func(i int, pr prepared) error {
 			t0 := time.Now()
 			e.mu.Lock()
@@ -208,6 +208,20 @@ func (e *Engine) InsertBatch(photos []*simimg.Photo, workers int) (BuildStats, e
 			return nil
 		})
 	return st, err
+}
+
+// prepareRecovering runs the read-only FE+SM stage for one photo,
+// converting a panic (e.g. from a malformed image that slipped past
+// upstream validation) into that photo's error. The stage runs on ingest
+// worker goroutines where an unwinding panic has no caller to contain it
+// and would take down the process instead of failing one photo.
+func (e *Engine) prepareRecovering(pca *feature.PCASIFT, img *simimg.Image) (pr prepared, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			pr, err = prepared{}, fmt.Errorf("core: ingest preparation panicked: %v", p)
+		}
+	}()
+	return e.prepareSummary(pca, img)
 }
 
 // trainLocked fits the PCA basis on a deterministic corpus sample.

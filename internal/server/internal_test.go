@@ -154,6 +154,55 @@ func newTestEngine(t *testing.T) (*core.Engine, *workload.Dataset) {
 	return eng, ds
 }
 
+// TestDispatchPanicFailsBatchNotProcess feeds the coalesced dispatchers
+// malformed probes whose processing panics (an image whose Pix backing is
+// missing, and a nil image that panics the dedup hash on the dispatch
+// goroutine itself). The panic must come back as each job's error — never
+// unwind the dispatch or engine-worker goroutines, where it would crash
+// the daemon.
+func TestDispatchPanicFailsBatchNotProcess(t *testing.T) {
+	eng, _ := newTestEngine(t)
+	s, err := New(Config{Engine: eng, Window: time.Millisecond, BatchMax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	hollow := &simimg.Image{W: 64, H: 64} // valid dims, no pixels: At() panics
+	for name, img := range map[string]*simimg.Image{"hollow": hollow, "nil": nil} {
+		jobs := make([]queryJob, 2)
+		for i := range jobs {
+			jobs[i] = queryJob{img: img, topK: 5, submitted: time.Now(), resp: make(chan queryResp, 1)}
+		}
+		s.dispatchQueries(jobs)
+		for i, j := range jobs {
+			select {
+			case r := <-j.resp:
+				if r.err == nil {
+					t.Errorf("%s probe %d: no error for a panicking query", name, i)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s probe %d: never answered", name, i)
+			}
+		}
+	}
+
+	ins := []insertJob{{
+		photo:     &simimg.Photo{ID: 9_300_001, Img: hollow},
+		submitted: time.Now(),
+		resp:      make(chan error, 1),
+	}}
+	s.dispatchInserts(ins)
+	select {
+	case err := <-ins[0].resp:
+		if err == nil {
+			t.Error("no error for a panicking insert")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panicking insert never answered")
+	}
+}
+
 // TestDispatchInsertsResumesAfterFailure feeds a coalesced insert batch
 // with a duplicate in the middle; InsertBatch stops at the failure, and the
 // dispatcher must answer the victim with the error while still committing

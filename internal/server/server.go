@@ -214,9 +214,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 }
 
 // gate runs the common front half of every engine-touching handler:
-// method check, drain check, JSON decode (body-limited) and admission.
-// It returns false after writing the refusal; on true the caller owns one
-// admission slot and must defer s.adm.release().
+// method check, drain check, admission, then the JSON decode
+// (body-limited). Admission comes before the decode so the potentially
+// expensive body work (up to MaxBodyBytes of JSON plus base64 pixels) runs
+// under the same concurrency bound as the engine call — otherwise a flood
+// of fat requests could do unbounded decode work while "waiting" for a
+// slot. It returns false after writing the refusal; on true the caller
+// owns one admission slot and must defer s.adm.release().
 func (s *Server) gate(w http.ResponseWriter, r *http.Request, method string, body interface{}) bool {
 	if r.Method != method {
 		writeError(w, http.StatusMethodNotAllowed, "use %s", method)
@@ -226,13 +230,6 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request, method string, bod
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return false
 	}
-	if body != nil {
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-		if err := dec.Decode(body); err != nil {
-			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-			return false
-		}
-	}
 	if err := s.adm.acquire(r.Context()); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			w.Header().Set("Retry-After", "1")
@@ -241,6 +238,14 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request, method string, bod
 			writeError(w, http.StatusRequestTimeout, "%v", err)
 		}
 		return false
+	}
+	if body != nil {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err := dec.Decode(body); err != nil {
+			s.adm.release()
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return false
+		}
 	}
 	return true
 }
@@ -433,6 +438,22 @@ func (s *Server) Stats() Stats {
 // duplicates therefore receive byte-identical answers to what a private
 // engine call would have produced.
 func (s *Server) dispatchQueries(batch []queryJob) {
+	// A panic in the engine (or in this dispatch logic) runs on the
+	// coalescer's goroutine, outside net/http's per-connection recover —
+	// unguarded it would crash the daemon. Convert it into an error reply
+	// to every job of this batch; the non-blocking sends skip jobs already
+	// answered before the panic.
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("server: query batch panicked: %v", p)
+			for _, j := range batch {
+				select {
+				case j.resp <- queryResp{err: err}:
+				default:
+				}
+			}
+		}
+	}()
 	now := time.Now()
 	maxK := 0
 	for _, j := range batch {
@@ -524,6 +545,19 @@ func sameImage(a, b *simimg.Image) bool {
 // insert (e.g. a duplicate ID) does not poison the requests coalesced
 // behind it.
 func (s *Server) dispatchInserts(batch []insertJob) {
+	// Same panic containment as dispatchQueries: fail the batch, not the
+	// process.
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("server: insert batch panicked: %v", p)
+			for _, j := range batch {
+				select {
+				case j.resp <- err:
+				default:
+				}
+			}
+		}
+	}()
 	now := time.Now()
 	photos := make([]*simimg.Photo, len(batch))
 	for i, j := range batch {

@@ -466,6 +466,29 @@ func TestHealthzAndBadRequests(t *testing.T) {
 	}
 }
 
+// TestBadRequestsDoNotLeakAdmission hammers a one-slot server with
+// requests that fail after admission (malformed JSON bodies): each refusal
+// must hand its slot back, or the follow-up legitimate query would starve.
+func TestBadRequestsDoNotLeakAdmission(t *testing.T) {
+	eng, ds := baseEngine(t)
+	_, hs, c := startServer(t, server.Config{Engine: eng, MaxInflight: 1, MaxQueue: 1})
+	for i := 0; i < 4; i++ {
+		resp, err := hs.Client().Post(hs.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad json attempt %d: status %d, want %d", i, resp.StatusCode, http.StatusBadRequest)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Query(ctx, ds.Photos[0].Img, 5); err != nil {
+		t.Fatalf("query after bad requests (leaked admission slot?): %v", err)
+	}
+}
+
 func TestWireImageRoundTrip(t *testing.T) {
 	eng, ds := baseEngine(t)
 	_ = eng
@@ -492,6 +515,12 @@ func TestWireImageRoundTrip(t *testing.T) {
 	}
 	if _, err := server.DecodeImage(server.WireImage{W: 1 << 20, H: 1 << 20, Pix: ""}); err == nil {
 		t.Error("absurd dimensions accepted")
+	}
+	// W*H wrapping to 0 (2^32 squared, on 64-bit int) must not slip past the
+	// pixel bound and pair up with an empty payload.
+	big := int(uint64(1) << 32)
+	if _, err := server.DecodeImage(server.WireImage{W: big, H: big, Pix: ""}); err == nil {
+		t.Error("overflowing dimensions accepted")
 	}
 	wi.Pix = wi.Pix[:len(wi.Pix)/2]
 	if _, err := server.DecodeImage(wi); err == nil {

@@ -39,9 +39,12 @@ func EncodeImage(im *simimg.Image) (WireImage, error) {
 }
 
 // DecodeImage converts a wire image back to a raster, validating the
-// dimensions against the payload length.
+// dimensions against the payload length. Each dimension is bounded before
+// the product is taken in 64-bit, so huge W/H values cannot overflow the
+// pixel-count check into a small (or zero) byte budget.
 func DecodeImage(wi WireImage) (*simimg.Image, error) {
-	if wi.W <= 0 || wi.H <= 0 || wi.W*wi.H > maxWirePixels {
+	if wi.W <= 0 || wi.H <= 0 || wi.W > maxWirePixels || wi.H > maxWirePixels ||
+		int64(wi.W)*int64(wi.H) > maxWirePixels {
 		return nil, fmt.Errorf("server: unreasonable image dimensions %dx%d", wi.W, wi.H)
 	}
 	buf, err := base64.StdEncoding.DecodeString(wi.Pix)
