@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-ingest bench-serve serve fmt-check ci
+.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query serve fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,18 @@ bench-ingest:
 # modes, verifies the answers match, and writes BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/fastbench -exp serve -scale 60000
+
+# Read-path cache sweep: replays a probe stream at 0/50/90% reuse with the
+# cache tiers off and cold-on, verifies every cached answer byte-identical
+# to a cold recompute, and writes BENCH_cache.json. The identity check is a
+# hard gate: any divergence fails the run.
+bench-cache:
+	$(GO) run ./cmd/fastbench -exp cache -scale 60000
+
+# Query throughput baseline: the QueryBatch worker sweep, written to
+# BENCH_query.json (QPS + p50/p95/p99) for run-over-run tracking.
+bench-query:
+	$(GO) run ./cmd/fastbench -exp qps -scale 60000
 
 # Boot a demo daemon over a small synthetic corpus. Ctrl-C drains and
 # writes fastd.snapshot for the next run.

@@ -202,6 +202,11 @@ func runQuery(args []string) {
 	s := lat.Summarize()
 	fmt.Printf("\n%d queries over the wire: %d total results; mean %v, p99 %v\n",
 		s.Count, hits, s.Mean.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	if st, err := c.Stats(ctx); err == nil {
+		fmt.Printf("server cache: summary %d hits / %d misses, results %d hits / %d misses, %d singleflight waits, %d deduped (epoch %d)\n",
+			st.SummaryCacheHits, st.SummaryCacheMisses, st.ResultCacheHits, st.ResultCacheMisses,
+			st.CacheSingleflightWaits, st.QueryDeduped, st.CacheEpoch)
+	}
 	if hits == 0 {
 		log.Fatal("fastctl query: no query returned any results")
 	}

@@ -52,6 +52,8 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "admission: concurrent request limit (0 = 8*GOMAXPROCS)")
 		maxQueue    = flag.Int("max-queue", 0, "admission: waiting-line limit before 429 (0 = 4*max-inflight)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		sumCache    = flag.Int("summary-cache", 4096, "probe-summary cache entries (0 disables the tier)")
+		resCache    = flag.Int("result-cache", 8192, "ranked-result cache entries (0 disables the tier)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Cache tiers are serving-side configuration, not index contents, so they
+	// are applied here rather than persisted in snapshots; /v1/restore carries
+	// them onto replacement engines.
+	eng.ConfigureCache(*sumCache, *resCache)
 
 	srv, err := server.New(server.Config{
 		Engine:       eng,
@@ -82,8 +88,8 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}()
-	log.Printf("serving %d photos on %s (window %v, batch-max %d)",
-		eng.Len(), ln.Addr(), *window, *batchMax)
+	log.Printf("serving %d photos on %s (window %v, batch-max %d, caches %d/%d)",
+		eng.Len(), ln.Addr(), *window, *batchMax, *sumCache, *resCache)
 
 	// Wait for a shutdown signal, then drain: refuse new work, let
 	// http.Server.Shutdown wait out the in-flight handlers, stop the

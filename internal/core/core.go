@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/fastrepro/fast/internal/bloom"
+	"github.com/fastrepro/fast/internal/cache"
 	"github.com/fastrepro/fast/internal/cuckoo"
 	"github.com/fastrepro/fast/internal/feature"
 	"github.com/fastrepro/fast/internal/lsh"
@@ -121,6 +122,20 @@ type Config struct {
 	// contents are identical at every setting (the committer stores
 	// summaries in input order), so this is purely a throughput knob.
 	IngestWorkers int
+	// SummaryCache bounds the probe-summary memoization tier (T1): up to
+	// this many Bloom summaries keyed by a 128-bit raster fingerprint. A
+	// summary is a pure function of the pixels under the trained basis, so
+	// entries never invalidate (Build retrains and therefore resets the
+	// tier) and a hit skips FE+SM entirely. 0 disables the tier. Cached
+	// answers are byte-identical to uncached ones; this is purely a
+	// throughput knob for workloads that repeat probes.
+	SummaryCache int
+	// ResultCache bounds the ranked-result tier (T2): up to this many
+	// result lists keyed by (summary fingerprint, topK, engine epoch).
+	// Every mutation bumps the epoch, so entries from older index states
+	// stop being addressable and can never be served stale. 0 disables the
+	// tier. Like SummaryCache, answers are byte-identical either way.
+	ResultCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -177,11 +192,25 @@ type Engine struct {
 	ram     store.DiskModel // cost model for the in-memory index
 	simTick atomic.Uint32   // round-robins charges across stripes
 	sim     [simStripeCount]simStripe
+
+	// The tiered read-path cache (see querycache.go). epoch versions the
+	// index contents: every mutation bumps it under the write lock, and the
+	// result tier keys on it, so an entry computed against an older index
+	// state is unreachable the instant the state changes. The cache
+	// pointers are atomic so ConfigureCache can swap tiers in and out while
+	// queries run.
+	epoch       atomic.Uint64
+	sumCache    atomic.Pointer[cache.Cache[summaryEntry]]
+	resCache    atomic.Pointer[cache.Cache[[]SearchResult]]
+	sumCacheCap atomic.Int64 // configured T1 bound (0 = disabled)
+	resCacheCap atomic.Int64 // configured T2 bound (0 = disabled)
 }
 
 // NewEngine returns an unbuilt engine; Build must run before Query/Insert.
 func NewEngine(cfg Config) *Engine {
-	return &Engine{cfg: cfg.withDefaults(), byID: make(map[uint64]int), ram: store.RAM()}
+	e := &Engine{cfg: cfg.withDefaults(), byID: make(map[uint64]int), ram: store.RAM()}
+	e.ConfigureCache(e.cfg.SummaryCache, e.cfg.ResultCache)
+	return e
 }
 
 // Name implements Pipeline.
@@ -267,8 +296,31 @@ func (e *Engine) Len() int {
 }
 
 // Summarize runs FE+SM on an image without touching the index; it is used
-// by Query and exposed for the smartphone-side client.
+// by Query and exposed for the smartphone-side client. With the summary
+// cache enabled, repeated rasters hit the memoized summary and skip FE+SM;
+// the returned filter is always the caller's to mutate (hits are cloned).
 func (e *Engine) Summarize(img *simimg.Image) (*bloom.Filter, error) {
+	sc := e.sumCache.Load()
+	if sc == nil {
+		return e.summarizeUncached(img)
+	}
+	ent, _, err := sc.GetOrCompute(cache.ImageKey(img.W, img.H, img.Pix), func() (summaryEntry, error) {
+		f, err := e.summarizeUncached(img)
+		if err != nil {
+			return summaryEntry{}, err
+		}
+		return summaryEntry{sparse: bloom.ToSparse(f), filter: f}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Whether hit, leader or singleflight waiter, the filter is shared with
+	// the cache entry, so hand out a clone.
+	return ent.filter.Clone(), nil
+}
+
+// summarizeUncached is the cache-free FE+SM pipeline behind Summarize.
+func (e *Engine) summarizeUncached(img *simimg.Image) (*bloom.Filter, error) {
 	e.mu.RLock()
 	p := e.pcasift
 	e.mu.RUnlock()
@@ -296,33 +348,61 @@ func (e *Engine) Query(img *simimg.Image, topK int) ([]SearchResult, error) {
 // QueryParallel answers a probe with the given number of candidate-scoring
 // workers (0 means GOMAXPROCS): LSH candidates are fetched through the flat
 // cuckoo table with LookupBatch and scored by sparse-summary Jaccard
-// similarity in parallel — the multicore path of Figure 7.
+// similarity in parallel — the multicore path of Figure 7. With the cache
+// tiers enabled, a repeated raster hits the summary tier (skipping FE+SM)
+// and a repeated summary at an unchanged index epoch hits the result tier
+// (skipping the search as well); answers are byte-identical in all cases.
 func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]SearchResult, error) {
 	if topK <= 0 {
 		return nil, fmt.Errorf("core: topK must be positive, got %d", topK)
 	}
-	probe, err := e.Summarize(img)
+	probeSparse, err := e.probeSummary(img)
 	if err != nil {
 		return nil, err
 	}
-	probeSparse := bloom.ToSparse(probe)
 	if len(probeSparse.Bits) == 0 {
 		return nil, nil // featureless probe: nothing to aggregate on
 	}
+	return e.searchCached(probeSparse, topK, workers)
+}
 
+// queryScratch recycles the per-query allocations of searchSummary: the
+// candidate key batch, the scoring slice, and the group-expansion member
+// set. Pooled the same way ingest pools its FE/SM buffers.
+type queryScratch struct {
+	keys     []uint64
+	results  []SearchResult
+	inResult map[uint64]bool
+}
+
+var queryScratchPool = sync.Pool{New: func() interface{} { return new(queryScratch) }}
+
+// searchSummary runs SA+CHS+ranking for a prepared probe summary under the
+// read lock and reports the index epoch its answer is valid for. It is the
+// single uncached implementation of the search back half; the cache tiers
+// and the uncached verification path both call it.
+func (e *Engine) searchSummary(probeSparse *bloom.Sparse, topK, workers int) ([]SearchResult, uint64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	// Mutations bump the epoch under the write lock, so the value read here
+	// labels exactly the index state this search observes.
+	epoch := e.epoch.Load()
 	if e.index == nil {
-		return nil, errors.New("core: engine not built")
+		return nil, epoch, errors.New("core: engine not built")
 	}
 	ids, err := e.index.Query(probeSparse.Bits)
 	if err != nil {
-		return nil, err
+		return nil, epoch, err
 	}
 	if len(ids) == 0 {
-		return nil, nil
+		return nil, epoch, nil
 	}
-	keys := make([]uint64, len(ids))
+
+	sc := queryScratchPool.Get().(*queryScratch)
+	if cap(sc.keys) < len(ids) {
+		sc.keys = make([]uint64, len(ids))
+	}
+	keys := sc.keys[:len(ids)]
 	for i, id := range ids {
 		keys[i] = uint64(id)
 	}
@@ -340,7 +420,10 @@ func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]Sear
 		}
 	}
 
-	results := make([]SearchResult, len(ids))
+	if cap(sc.results) < len(ids) {
+		sc.results = make([]SearchResult, len(ids))
+	}
+	results := sc.results[:len(ids)]
 	var wg sync.WaitGroup
 	nw := workers
 	if nw <= 0 {
@@ -360,13 +443,13 @@ func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]Sear
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				if !slots[i].Found {
-					results[i].Score = -1
+					results[i] = SearchResult{Score: -1}
 					continue
 				}
 				ent := e.entries[slots[i].Value]
 				sim, err := bloom.JaccardSparse(probeSparse, ent.summary)
 				if err != nil {
-					results[i].Score = -1
+					results[i] = SearchResult{Score: -1}
 					continue
 				}
 				results[i] = SearchResult{ID: ent.id, Score: sim}
@@ -389,7 +472,12 @@ func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]Sear
 	// that group, so re-querying with them recovers groupmates the noisy
 	// probe missed (false-negative suppression, Section III-C2).
 	if e.cfg.GroupExpand > 0 {
-		inResult := make(map[uint64]bool, len(kept))
+		if sc.inResult == nil {
+			sc.inResult = make(map[uint64]bool, len(kept))
+		} else {
+			clear(sc.inResult)
+		}
+		inResult := sc.inResult
 		for _, r := range kept {
 			inResult[r.ID] = true
 		}
@@ -437,8 +525,16 @@ func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]Sear
 	if len(kept) > topK {
 		kept = kept[:topK]
 	}
+	out := append([]SearchResult(nil), kept...)
+
+	// Return the scratch, keeping the largest backing array seen (group
+	// expansion can grow kept past the original candidate count).
+	if cap(kept) > cap(sc.results) {
+		sc.results = kept[:0]
+	}
+	queryScratchPool.Put(sc)
 	e.flushSim(qc)
-	return append([]SearchResult(nil), kept...), nil
+	return out, epoch, nil
 }
 
 // sortResults orders by descending score, then ascending ID for stability.

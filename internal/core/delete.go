@@ -32,6 +32,7 @@ func (e *Engine) Delete(id uint64) error {
 	}
 	e.entries[slot] = entry{} // tombstone
 	delete(e.byID, id)
+	e.epoch.Add(1) // retire result-cache entries computed before the delete
 	return nil
 }
 
@@ -77,5 +78,6 @@ func (e *Engine) Compact() error {
 	e.entries = live
 	e.table = table
 	e.byID = byID
+	e.epoch.Add(1) // entry slots moved; cached results must not outlive them
 	return nil
 }

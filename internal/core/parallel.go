@@ -150,6 +150,10 @@ func (e *Engine) BuildParallel(photos []*simimg.Photo, workers int) (BuildStats,
 	if err := e.allocLocked(len(photos)); err != nil {
 		return st, err
 	}
+	// The retrained basis invalidates every memoized summary (T1 entries are
+	// pure functions of pixels only under a fixed basis), and the fresh index
+	// invalidates every cached result; drop both tiers and advance the epoch.
+	e.resetCaches()
 
 	pca := e.pcasift
 	err := runIngest(photos, workers,
@@ -288,6 +292,7 @@ func (e *Engine) storeLocked(id uint64, sparse *bloom.Sparse) error {
 		return fmt.Errorf("flat table: %w", err)
 	}
 	e.byID[id] = slot
+	e.epoch.Add(1) // retire result-cache entries computed before the insert
 	e.chargeSim(e.ram.RandomWrite(int64(sparse.SizeBytes())), int64(sparse.SizeBytes()))
 	return nil
 }

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/driver"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+// Cache tier sizes used by the experiment — the fastd defaults.
+const (
+	cacheExpSummaryEntries = 4096
+	cacheExpResultEntries  = 8192
+)
+
+// cacheRow is one reuse-rate measurement of BENCH_cache.json.
+type cacheRow struct {
+	Reuse            float64 `json:"reuse"`             // fraction of probes repeating an earlier probe
+	Queries          int     `json:"queries"`           // stream length
+	Distinct         int     `json:"distinct"`          // distinct probes in the stream
+	UncachedQPS      float64 `json:"uncached_qps"`      //
+	UncachedP50Ns    int64   `json:"uncached_p50_ns"`   //
+	UncachedP99Ns    int64   `json:"uncached_p99_ns"`   //
+	CachedQPS        float64 `json:"cached_qps"`        //
+	CachedP50Ns      int64   `json:"cached_p50_ns"`     //
+	CachedP99Ns      int64   `json:"cached_p99_ns"`     //
+	Speedup          float64 `json:"speedup"`           // cached QPS / uncached QPS
+	SummaryHits      int64   `json:"summary_hits"`      //
+	SummaryMisses    int64   `json:"summary_misses"`    //
+	ResultHits       int64   `json:"result_hits"`       //
+	ResultMisses     int64   `json:"result_misses"`     //
+	IdentityVerified bool    `json:"identity_verified"` // cached answers compared against cold recomputes
+}
+
+// cacheReport is the BENCH_cache.json document.
+type cacheReport struct {
+	Corpus       int        `json:"corpus_photos"`
+	Clients      int        `json:"clients"`
+	TopK         int        `json:"topk"`
+	SummaryCache int        `json:"summary_cache_entries"`
+	ResultCache  int        `json:"result_cache_entries"`
+	Rows         []cacheRow `json:"rows"`
+}
+
+// reuseStream builds a probe stream of the given length where each position
+// repeats an earlier probe with probability reuse (uniformly over the probes
+// already used) and otherwise consumes the next fresh probe. Deterministic
+// for a given seed.
+func reuseStream(fresh []workload.Query, length int, reuse float64, seed int64) []workload.Query {
+	rng := rand.New(rand.NewSource(seed))
+	stream := make([]workload.Query, 0, length)
+	next := 0
+	for i := 0; i < length; i++ {
+		if (i > 0 && rng.Float64() < reuse) || next >= len(fresh) {
+			stream = append(stream, stream[rng.Intn(len(stream))])
+			continue
+		}
+		stream = append(stream, fresh[next])
+		next++
+	}
+	return stream
+}
+
+// RunCache measures the tiered read-path cache (probe-summary memoization +
+// epoch-versioned result cache) across probe-reuse rates: the same query
+// stream replayed through QueryBatch with the tiers off and then cold-on.
+// Before any number is reported, every distinct probe's cached answer is
+// compared element-for-element against a cold QueryUncached recompute; a
+// single mismatch fails the experiment (and the CI job running it).
+func RunCache(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Read-path cache: reuse sweep, cached vs uncached (identity-verified)")
+
+	bp, err := e.Pipeline("Wuhan", "FAST")
+	if err != nil {
+		return err
+	}
+	eng, ok := bp.p.(*core.Engine)
+	if !ok {
+		return fmt.Errorf("experiments: FAST pipeline is not a *core.Engine")
+	}
+	// The env's engine is shared across experiments; leave it the way the
+	// others expect it (tiers off) no matter how this experiment exits.
+	defer eng.ConfigureCache(0, 0)
+
+	ds, err := e.Dataset("Wuhan")
+	if err != nil {
+		return err
+	}
+	length := 16 * e.Opts().Queries
+	if length < 120 {
+		length = 120
+	}
+	fresh, err := ds.Queries(length, e.Opts().Seed+9)
+	if err != nil {
+		return err
+	}
+
+	const topK = 50
+	d := driver.Driver{Clients: 8, TopK: topK}
+	report := cacheReport{
+		Corpus:       len(ds.Photos),
+		Clients:      8,
+		TopK:         topK,
+		SummaryCache: cacheExpSummaryEntries,
+		ResultCache:  cacheExpResultEntries,
+	}
+
+	fmt.Fprintf(w, "%-6s | %12s %12s %9s | %10s %10s | %s\n",
+		"reuse", "uncached q/s", "cached q/s", "speedup", "cached p50", "cached p99", "hits (sum/res)")
+	for _, reuse := range []float64{0, 0.5, 0.9} {
+		stream := reuseStream(fresh, length, reuse, e.Opts().Seed+int64(reuse*100))
+
+		eng.ConfigureCache(0, 0)
+		uncached, err := d.RunBatch(eng, ds, stream)
+		if err != nil {
+			return err
+		}
+		if uncached.Failures > 0 {
+			return fmt.Errorf("experiments: %d uncached queries failed", uncached.Failures)
+		}
+
+		eng.ConfigureCache(cacheExpSummaryEntries, cacheExpResultEntries) // cold tiers
+		cached, err := d.RunBatch(eng, ds, stream)
+		if err != nil {
+			return err
+		}
+		if cached.Failures > 0 {
+			return fmt.Errorf("experiments: %d cached queries failed", cached.Failures)
+		}
+		st := eng.CacheStats()
+
+		// Identity gate: every distinct probe, answered warm from the cache,
+		// must match a cold recompute byte for byte.
+		seen := map[int]bool{}
+		for _, q := range stream {
+			qi := indexOf(fresh, q)
+			if seen[qi] {
+				continue
+			}
+			seen[qi] = true
+			want, err := eng.QueryUncached(q.Probe, topK)
+			if err != nil {
+				return err
+			}
+			got, err := eng.Query(q.Probe, topK)
+			if err != nil {
+				return err
+			}
+			if len(got) != len(want) {
+				return fmt.Errorf("experiments: cache identity violation (reuse %.0f%%, probe %d): %d results cached vs %d cold",
+					reuse*100, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return fmt.Errorf("experiments: cache identity violation (reuse %.0f%%, probe %d, rank %d): %+v cached vs %+v cold",
+						reuse*100, qi, i, got[i], want[i])
+				}
+			}
+		}
+
+		row := cacheRow{
+			Reuse:            reuse,
+			Queries:          len(stream),
+			Distinct:         len(seen),
+			UncachedQPS:      uncached.Throughput,
+			UncachedP50Ns:    uncached.Latency.Median.Nanoseconds(),
+			UncachedP99Ns:    uncached.Latency.P99.Nanoseconds(),
+			CachedQPS:        cached.Throughput,
+			CachedP50Ns:      cached.Latency.Median.Nanoseconds(),
+			CachedP99Ns:      cached.Latency.P99.Nanoseconds(),
+			Speedup:          cached.Throughput / uncached.Throughput,
+			SummaryHits:      st.Summary.Hits,
+			SummaryMisses:    st.Summary.Misses,
+			ResultHits:       st.Result.Hits,
+			ResultMisses:     st.Result.Misses,
+			IdentityVerified: true,
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(w, "%-6.0f%%| %12.1f %12.1f %8.1fx | %10s %10s | %d/%d\n",
+			reuse*100, row.UncachedQPS, row.CachedQPS, row.Speedup,
+			fmtDur(cached.Latency.Median), fmtDur(cached.Latency.P99),
+			row.SummaryHits, row.ResultHits)
+	}
+
+	path := filepath.Join(e.Opts().ArtifactDir, "BENCH_cache.json")
+	if err := writeJSONReport(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n(every distinct probe's cached answer verified byte-identical to a cold\nrecompute before reporting; machine-readable results written to %s)\n", path)
+	return nil
+}
+
+// indexOf locates a query in the fresh pool by probe pointer (streams reuse
+// the pool's Query values, so pointer identity is exact).
+func indexOf(fresh []workload.Query, q workload.Query) int {
+	for i := range fresh {
+		if fresh[i].Probe == q.Probe {
+			return i
+		}
+	}
+	return -1
+}

@@ -199,6 +199,7 @@ func All() []Experiment {
 		{"fig6", "Figure 6: insertion failure (rehash) probability", RunFig6},
 		{"fig7", "Figure 7: multicore-enabled parallel queries", RunFig7},
 		{"qps", "Throughput: sharded concurrent query engine (QueryBatch)", RunThroughput},
+		{"cache", "Read-path cache: reuse sweep, cached vs uncached (identity-verified)", RunCache},
 		{"ingest", "Throughput: staged parallel ingest pipeline (InsertBatch)", RunIngest},
 		{"serve", "Serving: coalesced network queries vs naive goroutine-per-request", RunServe},
 		{"fig8a", "Figure 8a: network transmission overhead", RunFig8a},

@@ -8,6 +8,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/workload"
 )
 
 // tinyEnv provisions an environment small enough for unit tests:
@@ -19,8 +22,8 @@ func tinyEnv() (*Env, *bytes.Buffer) {
 
 func TestAllRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	for _, ex := range all {
 		got, err := ByID(ex.ID)
@@ -165,7 +168,9 @@ func TestRunFig7(t *testing.T) {
 }
 
 func TestRunThroughput(t *testing.T) {
-	e, buf := tinyEnv()
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	e := NewEnv(Options{Scale: 300000, Queries: 2, Seed: 3, Out: &buf, ArtifactDir: dir})
 	if err := RunThroughput(e); err != nil {
 		t.Fatalf("RunThroughput: %v", err)
 	}
@@ -173,6 +178,84 @@ func TestRunThroughput(t *testing.T) {
 	for _, want := range []string{"queries/sec", "speedup", "shard"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("qps output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_query.json"))
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var report queryReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(report.Rows) == 0 || report.Queries == 0 {
+		t.Errorf("artifact content: %+v", report)
+	}
+	for _, row := range report.Rows {
+		if row.QPS <= 0 || row.Workers <= 0 || row.P99Ns < row.P50Ns {
+			t.Errorf("bad row: %+v", row)
+		}
+	}
+}
+
+func TestRunCache(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	e := NewEnv(Options{Scale: 300000, Queries: 2, Seed: 3, Out: &buf, ArtifactDir: dir})
+	if err := RunCache(e); err != nil {
+		t.Fatalf("RunCache: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"speedup", "verified byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cache output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_cache.json"))
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var report cacheReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(report.Rows) != 3 {
+		t.Fatalf("want 3 reuse rows, got %+v", report.Rows)
+	}
+	for _, row := range report.Rows {
+		if !row.IdentityVerified {
+			t.Errorf("row %.0f%% not identity-verified", row.Reuse*100)
+		}
+		if row.CachedQPS <= 0 || row.UncachedQPS <= 0 || row.Distinct <= 0 {
+			t.Errorf("bad row: %+v", row)
+		}
+	}
+	// The experiment must leave the shared env engine with the tiers off.
+	if bp, err := e.Pipeline("Wuhan", "FAST"); err == nil {
+		eng := bp.p.(*core.Engine)
+		if s, r := eng.CacheConfig(); s != 0 || r != 0 {
+			t.Errorf("env engine left with caches on: %d/%d", s, r)
+		}
+	}
+}
+
+func TestReuseStreamDeterministicAndBounded(t *testing.T) {
+	fresh := make([]workload.Query, 10)
+	a := reuseStream(fresh, 40, 0.5, 7)
+	b := reuseStream(fresh, 40, 0.5, 7)
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("stream lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Probe != b[i].Probe {
+			t.Fatalf("stream not deterministic at %d", i)
+		}
+	}
+	// Zero reuse consumes fresh probes in order until the pool runs dry.
+	zero := reuseStream(fresh, 10, 0, 7)
+	for i := range zero {
+		if &fresh[i].Probe != &zero[i].Probe && fresh[i].Probe != zero[i].Probe {
+			t.Fatalf("zero-reuse stream diverged at %d", i)
 		}
 	}
 }

@@ -2,12 +2,34 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 
 	"github.com/fastrepro/fast/internal/core"
 	"github.com/fastrepro/fast/internal/driver"
 )
+
+// queryRow is one worker-count measurement of BENCH_query.json.
+type queryRow struct {
+	Workers int     `json:"workers"`
+	QPS     float64 `json:"qps"`
+	MeanNs  int64   `json:"mean_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P90Ns   int64   `json:"p90_ns"`
+	P95Ns   int64   `json:"p95_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	Speedup float64 `json:"speedup"` // vs the single-worker row
+}
+
+// queryReport is the BENCH_query.json document — the query-path throughput
+// baseline CI tracks run over run.
+type queryReport struct {
+	Corpus  int        `json:"corpus_photos"`
+	Queries int        `json:"queries"`
+	TopK    int        `json:"topk"`
+	Rows    []queryRow `json:"rows"`
+}
 
 // RunThroughput measures end-to-end serving throughput of the sharded
 // concurrent query engine: the full query pipeline (FE → SM → SA candidate
@@ -53,6 +75,7 @@ func RunThroughput(e *Env) error {
 	}
 	sort.Ints(workers)
 
+	report := queryReport{Corpus: len(ds.Photos), Queries: len(qs), TopK: 50}
 	fmt.Fprintf(w, "%-8s | %12s %10s %10s %10s\n", "workers", "queries/sec", "mean", "p90", "speedup")
 	var base float64
 	for _, c := range workers {
@@ -68,8 +91,23 @@ func RunThroughput(e *Env) error {
 		}
 		fmt.Fprintf(w, "%-8d | %12.1f %10s %10s %9.1fx\n",
 			c, res.Throughput, fmtDur(res.Latency.Mean), fmtDur(res.Latency.P90), res.Throughput/base)
+		report.Rows = append(report.Rows, queryRow{
+			Workers: c,
+			QPS:     res.Throughput,
+			MeanNs:  res.Latency.Mean.Nanoseconds(),
+			P50Ns:   res.Latency.Median.Nanoseconds(),
+			P90Ns:   res.Latency.P90.Nanoseconds(),
+			P95Ns:   res.Latency.P95.Nanoseconds(),
+			P99Ns:   res.Latency.P99.Nanoseconds(),
+			Speedup: res.Throughput / base,
+		})
 	}
-	fmt.Fprintf(w, "\n(%d queries per row over the %d-photo corpus; batch results are\nbyte-identical to the sequential path at every worker count)\n",
-		len(qs), len(ds.Photos))
+
+	path := filepath.Join(e.Opts().ArtifactDir, "BENCH_query.json")
+	if err := writeJSONReport(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n(%d queries per row over the %d-photo corpus; batch results are\nbyte-identical to the sequential path at every worker count;\nmachine-readable baseline written to %s)\n",
+		len(qs), len(ds.Photos), path)
 	return nil
 }

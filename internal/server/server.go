@@ -382,6 +382,11 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "restore failed: %v", err)
 		return
 	}
+	// Snapshots carry index contents, not serving knobs: carry the old
+	// engine's cache configuration onto its replacement. The restored
+	// engine starts with empty tiers (fresh object, fresh epoch), so no
+	// pre-restore entry can ever be served against the new index.
+	e.ConfigureCache(s.Engine().CacheConfig())
 	s.swapEngine(e)
 	writeJSON(w, http.StatusOK, OKResponse{OK: true})
 }
@@ -396,7 +401,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // Stats assembles the /v1/stats document.
 func (s *Server) Stats() Stats {
-	est := s.Engine().Stats()
+	eng := s.Engine()
+	est := eng.Stats()
+	cs := eng.CacheStats()
 	qw := s.met.queueWait.Summarize()
 	return Stats{
 		Queries:           s.met.queries.Load(),
@@ -422,6 +429,15 @@ func (s *Server) Stats() Stats {
 		IndexBytes:        est.IndexBytes,
 		LSHShards:         est.LSHShards,
 		TableShards:       est.TableShards,
+
+		SummaryCacheHits:       cs.Summary.Hits,
+		SummaryCacheMisses:     cs.Summary.Misses,
+		SummaryCacheEntries:    cs.Summary.Entries,
+		ResultCacheHits:        cs.Result.Hits,
+		ResultCacheMisses:      cs.Result.Misses,
+		ResultCacheEntries:     cs.Result.Entries,
+		CacheSingleflightWaits: cs.Summary.Waits + cs.Result.Waits,
+		CacheEpoch:             cs.Epoch,
 	}
 }
 

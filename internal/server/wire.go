@@ -137,4 +137,15 @@ type Stats struct {
 	IndexBytes  int64 `json:"index_bytes"`  // resident index size
 	LSHShards   int   `json:"lsh_shards"`   // lock shards per LSH band
 	TableShards int   `json:"table_shards"` // lock shards of the flat cuckoo table
+
+	// Read-path cache tiers (see DESIGN.md, "Read-path caching"). Zeroes
+	// when a tier is disabled.
+	SummaryCacheHits       int64  `json:"summary_cache_hits"`       // probes answered from the memoized summary tier
+	SummaryCacheMisses     int64  `json:"summary_cache_misses"`     // probes that ran FE+SM
+	SummaryCacheEntries    int    `json:"summary_cache_entries"`    // live summary-tier entries
+	ResultCacheHits        int64  `json:"result_cache_hits"`        // queries answered from the result tier
+	ResultCacheMisses      int64  `json:"result_cache_misses"`      // queries that ran the search back half
+	ResultCacheEntries     int    `json:"result_cache_entries"`     // live result-tier entries
+	CacheSingleflightWaits int64  `json:"cache_singleflight_waits"` // lookups that piggybacked on a concurrent identical compute
+	CacheEpoch             uint64 `json:"cache_epoch"`              // index-mutation epoch versioning the result tier
 }
