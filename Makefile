@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query serve fmt-check ci
+.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query serve fmt-check fuzz soak ci
+
+# Per-target budget for `make fuzz`; CI uses 60s per target.
+FUZZTIME ?= 30s
 
 build:
 	$(GO) build ./...
@@ -53,6 +56,23 @@ bench-query:
 # writes fastd.snapshot for the next run.
 serve:
 	$(GO) run ./cmd/fastd -addr 127.0.0.1:8093 -photos 120 -scenes 6 -final-snapshot fastd.snapshot
+
+# Run every native fuzz target for FUZZTIME each (override: make fuzz
+# FUZZTIME=5m). Seed corpora live under each package's testdata/fuzz/.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeImage$$' -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeQueryRequest$$' -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz='^FuzzReadEngine$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzCuckooInsertDelete$$' -fuzztime=$(FUZZTIME) ./internal/cuckoo
+
+# Failpoint soak: every fault-injection suite (snapshot crash matrix,
+# generation rotation, injected 429/503 bursts, transport faults, cuckoo
+# exhaustion/rehash) repeated under the race detector.
+soak:
+	$(GO) test -race -count=3 ./internal/failpoint/
+	$(GO) test -race -count=3 -timeout=20m \
+		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport' \
+		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

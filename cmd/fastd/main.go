@@ -12,6 +12,14 @@
 //
 //	fastd -addr :8093 -photos 300 -scenes 10
 //
+// Snapshots are kept in rotated generations (index.fast, index.fast.1,
+// ...): every write lands in a temp file, is fsynced, and is renamed into
+// place only after the previous generation has been rotated aside, so a
+// crash mid-snapshot never loses the last good index. At startup the
+// daemon sweeps abandoned temp files and walks the generations
+// newest-first until one passes its checksums; /v1/stats reports which
+// generation loaded and why.
+//
 // On SIGINT/SIGTERM the daemon drains: health checks start failing, new
 // requests are refused, in-flight requests finish, and (with
 // -final-snapshot) the index is persisted so the next run can resume it.
@@ -22,17 +30,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
 	"github.com/fastrepro/fast/internal/core"
 	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/store"
 	"github.com/fastrepro/fast/internal/workload"
 )
 
@@ -41,8 +50,9 @@ func main() {
 	log.SetPrefix("fastd: ")
 	var (
 		addr        = flag.String("addr", ":8093", "listen address")
-		snapshot    = flag.String("snapshot", "", "bootstrap the index from this snapshot file")
-		finalSnap   = flag.String("final-snapshot", "", "write the index here during graceful shutdown")
+		snapshot    = flag.String("snapshot", "", "bootstrap the index from this snapshot (generations tried newest-first)")
+		finalSnap   = flag.String("final-snapshot", "", "write the index here during graceful shutdown (rotating generations)")
+		generations = flag.Int("snapshot-generations", 2, "snapshot generations to keep (primary + fallbacks)")
 		photos      = flag.Int("photos", 300, "synthetic bootstrap corpus size (ignored with -snapshot)")
 		scenes      = flag.Int("scenes", 10, "synthetic bootstrap scene count (ignored with -snapshot)")
 		seed        = flag.Int64("seed", 1, "synthetic bootstrap generator seed")
@@ -57,7 +67,7 @@ func main() {
 	)
 	flag.Parse()
 
-	eng, err := bootstrap(*snapshot, *photos, *scenes, *seed)
+	eng, recovery, err := bootstrap(*snapshot, *generations, *photos, *scenes, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,6 +83,7 @@ func main() {
 		BatchWorkers: *workers,
 		MaxInflight:  *maxInflight,
 		MaxQueue:     *maxQueue,
+		Recovery:     recovery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,30 +128,46 @@ func main() {
 	}
 
 	if *finalSnap != "" {
-		if err := writeSnapshot(srv.Engine(), *finalSnap); err != nil {
+		g := &store.Generations{Path: *finalSnap, Keep: *generations}
+		n, err := g.Write(srv.Engine())
+		if err != nil {
 			log.Fatalf("final snapshot: %v", err)
 		}
-		log.Printf("final snapshot written to %s", *finalSnap)
+		log.Printf("final snapshot written to %s (%d bytes)", *finalSnap, n)
 	}
 	log.Println("bye")
 }
 
-// bootstrap loads the engine from a snapshot, or builds one over a
-// synthetic corpus when no snapshot is given.
-func bootstrap(snapshot string, photos, scenes int, seed int64) (*core.Engine, error) {
+// bootstrap loads the engine from the snapshot generations (sweeping
+// aborted temp files and falling back to older generations when the
+// primary is torn or corrupt), or builds one over a synthetic corpus when
+// no snapshot is given. The returned RecoveryInfo is nil for synthetic
+// bootstraps.
+func bootstrap(snapshot string, generations, photos, scenes int, seed int64) (*core.Engine, *store.RecoveryInfo, error) {
 	if snapshot != "" {
-		f, err := os.Open(snapshot)
-		if err != nil {
-			return nil, fmt.Errorf("opening snapshot: %w", err)
-		}
-		defer f.Close()
+		g := &store.Generations{Path: snapshot, Keep: generations}
+		var eng *core.Engine
 		t0 := time.Now()
-		eng, err := core.ReadEngine(f)
+		info, err := g.Recover(func(path string, r io.Reader) error {
+			e, err := core.ReadEngine(r)
+			if err != nil {
+				return err
+			}
+			eng = e
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
+			return nil, nil, fmt.Errorf("recovering snapshot %s: %w", snapshot, err)
 		}
-		log.Printf("loaded %d photos from %s in %v", eng.Len(), snapshot, time.Since(t0).Round(time.Millisecond))
-		return eng, nil
+		for _, p := range info.Swept {
+			log.Printf("recovery: removed abandoned temp file %s", p)
+		}
+		if info.Fallback {
+			log.Printf("recovery: fell back to generation %d (%s): %v",
+				info.Generation, info.Loaded, info.Errors)
+		}
+		log.Printf("loaded %d photos from %s in %v", eng.Len(), info.Loaded, time.Since(t0).Round(time.Millisecond))
+		return eng, &info, nil
 	}
 
 	ds, err := workload.Generate(workload.Spec{
@@ -154,33 +181,14 @@ func bootstrap(snapshot string, photos, scenes int, seed int64) (*core.Engine, e
 		SceneBase:   6000,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("generating bootstrap corpus: %w", err)
+		return nil, nil, fmt.Errorf("generating bootstrap corpus: %w", err)
 	}
 	eng := core.NewEngine(core.Config{})
 	t0 := time.Now()
 	if _, err := eng.Build(ds.Photos); err != nil {
-		return nil, fmt.Errorf("building bootstrap index: %w", err)
+		return nil, nil, fmt.Errorf("building bootstrap index: %w", err)
 	}
 	log.Printf("built synthetic index (%d photos, %d scenes) in %v",
 		photos, scenes, time.Since(t0).Round(time.Millisecond))
-	return eng, nil
-}
-
-// writeSnapshot persists the engine to path via a same-directory temp file
-// and rename, so a crash mid-write never leaves a truncated snapshot under
-// the final name.
-func writeSnapshot(eng *core.Engine, path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "fastd-snap-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := eng.WriteTo(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return eng, nil, nil
 }

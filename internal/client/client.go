@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/failpoint"
 	"github.com/fastrepro/fast/internal/server"
 	"github.com/fastrepro/fast/internal/simimg"
 )
@@ -73,7 +74,8 @@ func New(base string, opts ...Option) *Client {
 }
 
 // retryable reports whether a response status is worth retrying, and the
-// wait the server asked for (0 if none).
+// wait the server asked for (0 if none). Retry-After is parsed in both
+// RFC 9110 forms: delay-seconds and HTTP-date.
 func retryable(resp *http.Response) (bool, time.Duration) {
 	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
 		return false, 0
@@ -81,6 +83,11 @@ func retryable(resp *http.Response) (bool, time.Duration) {
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
 			return true, time.Duration(secs) * time.Second
+		}
+		if at, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(at); d > 0 {
+				return true, d
+			}
 		}
 	}
 	return true, 0
@@ -94,10 +101,18 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, co
 	wait := c.retryWait
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			// The caller's deadline caps total elapsed time: if the next
+			// backoff cannot complete before it, stop now and report the
+			// last real failure instead of sleeping into a guaranteed
+			// context error.
+			if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+				return fmt.Errorf("client: %s %s: deadline would expire during %v backoff (last error: %w)",
+					method, path, wait, lastErr)
+			}
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
-				return ctx.Err()
+				return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
 			}
 			wait *= 2
 		}
@@ -111,6 +126,10 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, co
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if err := failpoint.Eval(failpoint.ClientTransport); err != nil {
+			lastErr = err // injected transport fault: retry like a real one
+			continue
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCacheEquivalenceRandomInterleavings drives two engines — one with
+// both cache tiers enabled, one with caching off — through identical
+// seeded-random interleavings of insert, delete, and query operations.
+// Every query must answer byte-identically on both engines (and match the
+// cached engine's own uncached reference path), no matter where in the
+// mutation stream it lands. This generalizes the fixed-sequence mutation
+// test into a property over random schedules.
+func TestCacheEquivalenceRandomInterleavings(t *testing.T) {
+	ds := testDatasetCached(t)
+	for _, seed := range []int64{7, 1234, 987654} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cached := NewEngine(Config{SummaryCache: 128, ResultCache: 128})
+			plain := NewEngine(Config{})
+			if _, err := cached.Build(ds.Photos); err != nil {
+				t.Fatalf("Build(cached): %v", err)
+			}
+			if _, err := plain.Build(ds.Photos); err != nil {
+				t.Fatalf("Build(plain): %v", err)
+			}
+			qs, err := ds.Queries(6, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			live := make([]uint64, 0, len(ds.Photos))
+			for _, p := range ds.Photos {
+				live = append(live, p.ID)
+			}
+			nextID := uint64(910000 + seed*1000)
+
+			for op := 0; op < 120; op++ {
+				switch rng.Intn(4) {
+				case 0: // insert a fresh photo into both engines
+					nextID++
+					fresh := ds.FreshPhoto(nextID, seed+int64(op))
+					if err := cached.Insert(fresh); err != nil {
+						t.Fatalf("op %d: Insert(cached): %v", op, err)
+					}
+					if err := plain.Insert(fresh); err != nil {
+						t.Fatalf("op %d: Insert(plain): %v", op, err)
+					}
+					live = append(live, nextID)
+				case 1: // delete a random live photo from both engines
+					if len(live) == 0 {
+						continue
+					}
+					i := rng.Intn(len(live))
+					victim := live[i]
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if err := cached.Delete(victim); err != nil {
+						t.Fatalf("op %d: Delete(cached, %d): %v", op, victim, err)
+					}
+					if err := plain.Delete(victim); err != nil {
+						t.Fatalf("op %d: Delete(plain, %d): %v", op, victim, err)
+					}
+				default: // query — biased so warm-cache hits interleave mutations
+					q := qs[rng.Intn(len(qs))]
+					topK := []int{5, 25, 60}[rng.Intn(3)]
+					want, err := cached.QueryUncached(q.Probe, topK)
+					if err != nil {
+						t.Fatalf("op %d: QueryUncached: %v", op, err)
+					}
+					got, err := cached.Query(q.Probe, topK)
+					if err != nil {
+						t.Fatalf("op %d: Query(cached): %v", op, err)
+					}
+					sameResults(t, fmt.Sprintf("op %d cached-vs-uncached", op), got, want)
+					off, err := plain.Query(q.Probe, topK)
+					if err != nil {
+						t.Fatalf("op %d: Query(plain): %v", op, err)
+					}
+					sameResults(t, fmt.Sprintf("op %d cached-vs-cacheless", op), got, off)
+				}
+			}
+			if cached.Len() != plain.Len() {
+				t.Fatalf("engines diverged in size: %d vs %d", cached.Len(), plain.Len())
+			}
+			// The schedule must actually have exercised the caches.
+			if st := cached.CacheStats(); st.Summary.Hits == 0 {
+				t.Error("random schedule produced no summary-tier hits")
+			}
+		})
+	}
+}

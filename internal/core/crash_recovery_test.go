@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/failpoint"
+	"github.com/fastrepro/fast/internal/store"
+)
+
+// bytesTo adapts pre-serialized snapshot bytes to io.WriterTo, so each
+// subtest can lay down the known-good generation without re-serializing.
+type bytesTo []byte
+
+func (b bytesTo) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// TestCrashRecoveryAtEveryFailpointSite kills the snapshot writer at every
+// failpoint site on the write path — torn header, torn section, failed
+// temp creation, failed fsync, a crash mid-rotation and mid-rename — and
+// asserts that recovery falls back to the prior good generation with zero
+// result drift: the recovered engine answers the probe set byte-identical
+// to the engine that wrote that generation.
+func TestCrashRecoveryAtEveryFailpointSite(t *testing.T) {
+	ds := testDatasetCached(t)
+	baseline := builtEngine(t, ds)
+	var good bytes.Buffer
+	if _, err := baseline.WriteTo(&good); err != nil {
+		t.Fatalf("serializing good generation: %v", err)
+	}
+
+	// The doomed write carries a mutated index — if recovery ever surfaced
+	// its bytes, the drift check below would catch it.
+	mutated := builtEngine(t, ds)
+	if err := mutated.Insert(ds.FreshPhoto(9_999_999, 5)); err != nil {
+		t.Fatalf("mutating engine: %v", err)
+	}
+
+	qs, err := ds.Queries(5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineAnswers := make([][]SearchResult, len(qs))
+	for i, q := range qs {
+		if baselineAnswers[i], err = baseline.Query(q.Probe, 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name         string
+		site         string
+		policy       failpoint.Policy
+		wantFallback bool // true when the crash window leaves no primary
+	}{
+		{"temp-create-error", failpoint.StoreSnapshotCreate, failpoint.Policy{Action: failpoint.Error}, false},
+		{"partial-header", failpoint.StoreSnapshotWrite, failpoint.Policy{Action: failpoint.PartialWrite, Bytes: 4}, false},
+		{"partial-section", failpoint.StoreSnapshotWrite, failpoint.Policy{Action: failpoint.PartialWrite, Bytes: 2000}, false},
+		{"header-write-error", failpoint.CoreSnapshotWriteHeader, failpoint.Policy{Action: failpoint.Error}, false},
+		{"section-write-error", failpoint.CoreSnapshotWriteSection, failpoint.Policy{Action: failpoint.Error, Skip: 1}, false},
+		{"fsync-error", failpoint.StoreSnapshotSync, failpoint.Policy{Action: failpoint.Error}, false},
+		// The rotate site fires before any rename, so the primary is still
+		// in place; the rename site fires after rotation moved the primary
+		// to generation 1, so recovery must fall back.
+		{"crash-during-rotate", failpoint.StoreSnapshotRotate, failpoint.Policy{Action: failpoint.Panic}, false},
+		{"crash-before-rename", failpoint.StoreSnapshotRename, failpoint.Policy{Action: failpoint.Panic}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Cleanup(failpoint.Reset)
+			failpoint.Reset()
+			g := &store.Generations{Path: filepath.Join(t.TempDir(), "index.fast")}
+			if _, err := g.Write(bytesTo(good.Bytes())); err != nil {
+				t.Fatalf("writing good generation: %v", err)
+			}
+
+			// Attempt the doomed write; it must fail (error or crash).
+			failpoint.Enable(tc.site, tc.policy)
+			crashed := func() (failed bool) {
+				defer func() {
+					if recover() != nil {
+						failed = true
+					}
+				}()
+				_, err := g.Write(mutated)
+				return err != nil
+			}()
+			if !crashed {
+				t.Fatal("injected write succeeded — failpoint did not fire")
+			}
+			failpoint.Reset()
+
+			// Recover: the prior good generation must load.
+			var restored *Engine
+			info, err := g.Recover(func(path string, r io.Reader) error {
+				e, err := ReadEngine(r)
+				if err != nil {
+					return err
+				}
+				restored = e
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("Recover: %v (info %+v)", err, info)
+			}
+			if info.Fallback != tc.wantFallback {
+				t.Fatalf("Fallback = %v, want %v (info %+v)", info.Fallback, tc.wantFallback, info)
+			}
+			if restored.Len() != baseline.Len() {
+				t.Fatalf("recovered Len = %d, want %d", restored.Len(), baseline.Len())
+			}
+
+			// Zero result drift: every probe answers byte-identical to the
+			// engine that wrote the good generation.
+			for qi, q := range qs {
+				got, err := restored.Query(q.Probe, 40)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := baselineAnswers[qi]
+				if len(got) != len(want) {
+					t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("query %d result %d drifted: %+v vs %+v", qi, i, got[i], want[i])
+					}
+				}
+			}
+
+			// The torn temp file never leaked into the generation set.
+			if m, _ := filepath.Glob(g.Path + ".tmp-*"); len(m) != 0 {
+				t.Fatalf("temp files leaked: %v", m)
+			}
+		})
+	}
+}
+
+// TestRecoverySurvivesOnDiskCorruption flips bytes in the primary
+// generation after a clean write; recovery must reject it via CRC and
+// fall back to the previous generation.
+func TestRecoverySurvivesOnDiskCorruption(t *testing.T) {
+	ds := testDatasetCached(t)
+	baseline := builtEngine(t, ds)
+	var good bytes.Buffer
+	if _, err := baseline.WriteTo(&good); err != nil {
+		t.Fatal(err)
+	}
+	g := &store.Generations{Path: filepath.Join(t.TempDir(), "index.fast")}
+	if _, err := g.Write(bytesTo(good.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(bytesTo(good.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the primary in the middle of its payload.
+	data, err := os.ReadFile(g.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(g.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var restored *Engine
+	info, err := g.Recover(func(path string, r io.Reader) error {
+		e, err := ReadEngine(r)
+		if err != nil {
+			return err
+		}
+		restored = e
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !info.Fallback || info.Generation != 1 {
+		t.Fatalf("info %+v, want fallback to generation 1", info)
+	}
+	if restored.Len() != baseline.Len() {
+		t.Fatalf("recovered Len = %d, want %d", restored.Len(), baseline.Len())
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/failpoint"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+var (
+	fuzzSeedOnce sync.Once
+	fuzzSeedSnap []byte
+)
+
+// fuzzSeedSnapshot builds one small valid container snapshot for seeding.
+func fuzzSeedSnapshot(tb testing.TB) []byte {
+	fuzzSeedOnce.Do(func() {
+		ds, err := workload.Generate(workload.Spec{
+			Name: "core-fuzz", Scenes: 2, Photos: 8, Subjects: 2,
+			SubjectRate: 0.25, Resolution: 32, Seed: 3, SceneBase: 50,
+		})
+		if err != nil {
+			return
+		}
+		e := NewEngine(Config{})
+		if _, err := e.Build(ds.Photos); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := e.WriteTo(&buf); err != nil {
+			return
+		}
+		fuzzSeedSnap = buf.Bytes()
+	})
+	if fuzzSeedSnap == nil {
+		tb.Skip("seed snapshot construction failed")
+	}
+	return fuzzSeedSnap
+}
+
+// FuzzReadEngine throws arbitrary bytes at the snapshot deserializer. The
+// invariants: never panic, never return a half-built engine on error, and
+// any accepted snapshot must itself round-trip — written back out and
+// re-read, it yields an engine of the same size.
+func FuzzReadEngine(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FASTIDX1"))
+	f.Add([]byte("FASTSNP1"))
+	f.Add([]byte("NOTMAGIC--------"))
+	seed := fuzzSeedSnapshot(f)
+	f.Add(seed)
+	// A truncated and a bit-flipped variant, to seed the mutation space
+	// near the interesting boundaries.
+	f.Add(seed[:len(seed)/2])
+	flipped := bytes.Clone(seed)
+	flipped[len(flipped)-1] ^= 1
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if failpoint.Enabled(failpoint.CoreSnapshotRead) {
+			t.Skip("failpoints armed externally")
+		}
+		e, err := ReadEngine(bytes.NewReader(data))
+		if err != nil {
+			if e != nil {
+				t.Fatal("error return carried a non-nil engine")
+			}
+			return
+		}
+		var out bytes.Buffer
+		if _, err := e.WriteTo(&out); err != nil {
+			t.Fatalf("re-serializing accepted snapshot: %v", err)
+		}
+		back, err := ReadEngine(&out)
+		if err != nil {
+			t.Fatalf("re-reading accepted snapshot: %v", err)
+		}
+		if back.Len() != e.Len() {
+			t.Fatalf("round trip changed Len: %d -> %d", e.Len(), back.Len())
+		}
+	})
+}
+
+// sanity pin: ErrBadSnapshot classification never regresses under the
+// fuzz corpus's truncation seeds.
+func TestFuzzSeedsClassifyAsBadSnapshot(t *testing.T) {
+	seed := fuzzSeedSnapshot(t)
+	for cut := 0; cut < len(seed); cut += len(seed)/64 + 1 {
+		if _, err := ReadEngine(bytes.NewReader(seed[:cut])); err != nil && !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("cut at %d: %v is not ErrBadSnapshot", cut, err)
+		}
+	}
+}

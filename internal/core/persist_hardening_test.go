@@ -34,15 +34,17 @@ var (
 )
 
 // hardeningSnapshot builds one engine and serializes it once per test
-// binary; mutation cases each work on their own copy.
+// binary; mutation cases each work on their own copy. These tests target
+// the legacy layout (the offsets below mirror it); the checksummed
+// container has its own hardening sweep in persist_container_test.go.
 func hardeningSnapshot(t *testing.T) []byte {
 	t.Helper()
 	hardSnapOnce.Do(func() {
 		ds := testDatasetCached(t)
 		e := builtEngine(t, ds)
 		var buf bytes.Buffer
-		if _, err := e.WriteTo(&buf); err != nil {
-			t.Fatalf("WriteTo: %v", err)
+		if _, err := e.writeLegacyTo(&buf); err != nil {
+			t.Fatalf("writeLegacyTo: %v", err)
 		}
 		hardSnap = buf.Bytes()
 	})

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/fastrepro/fast/internal/failpoint"
 	"github.com/fastrepro/fast/internal/shard"
 )
 
@@ -264,6 +265,12 @@ func (sh *flatShard) insertLocked(key, value uint64) error {
 					sh.stash[i].Value = cur.Value
 					return nil
 				}
+			}
+			// Failpoint: simulate kick-chain exhaustion for a genuinely new
+			// key, driving the stash/rehash machinery without needing a
+			// pathologically full table.
+			if failpoint.Eval(failpoint.CuckooInsertFull) != nil {
+				break
 			}
 		}
 		// Empty cell anywhere in the flat neighborhood.

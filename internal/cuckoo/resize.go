@@ -3,6 +3,8 @@ package cuckoo
 import (
 	"errors"
 	"fmt"
+
+	"github.com/fastrepro/fast/internal/failpoint"
 )
 
 // Range calls fn for every stored entry; iteration stops if fn returns
@@ -127,6 +129,11 @@ func (r *Resizable) Insert(key, value uint64) error {
 // grow rebuilds the table at double capacity with a fresh seed; Range
 // covers both the cells and the stash, so nothing is lost.
 func (r *Resizable) grow() error {
+	// Failpoint: a rehash that itself fails (e.g. allocation pressure at
+	// the worst moment) must surface rather than lose entries.
+	if err := failpoint.Eval(failpoint.CuckooRehash); err != nil {
+		return fmt.Errorf("cuckoo: rehash: %w", err)
+	}
 	r.rehashes++
 	r.seed = r.seed*6364136223846793005 + 1442695040888963407
 	bigger, err := NewFlat(r.table.Cap()*2, r.neighborhood, r.maxKicks, r.seed)

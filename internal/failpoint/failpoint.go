@@ -1,0 +1,403 @@
+// Package failpoint is a deterministic fault-injection framework for
+// exercising the failure paths production traffic hits but the happy-path
+// tests never do: torn snapshot writes, fsync errors, slow or dying batch
+// dispatch, transport faults, cuckoo kick-chain exhaustion.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disabled. Eval and Wrap begin with a single atomic
+//     load of a package counter; with no site armed they return
+//     immediately, so sites can sit on hot paths (snapshot streaming,
+//     cuckoo insertion) without a measurable production tax.
+//   - Deterministic. Probabilistic policies draw from a per-site RNG
+//     seeded from a global seed plus the site name, so a failing run
+//     reproduces from its seed alone.
+//   - Explicit inventory. Every site compiled into the binary is a named
+//     constant in this package (see sites.go); DESIGN.md documents the
+//     full list.
+//
+// Activation is programmatic (Enable/Disable, used by tests) or via the
+// environment for whole-process experiments:
+//
+//	FAST_FAILPOINTS='store/snapshot-sync=error;client/transport=error:odds=0.3,times=5'
+//	FAST_FAILPOINTS_SEED=42
+//
+// The spec grammar per site is action[(arg)][:mod=val,...] with actions
+// error(msg), delay(duration), panic, partial(bytes) and modifiers odds
+// (probability in (0,1]), skip (ignore the first N evaluations), times
+// (disarm after N fires).
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by a firing error or
+// partial-write policy. Injected failures wrap it, so code under test can
+// assert errors.Is(err, failpoint.ErrInjected).
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// Action selects what a firing site does.
+type Action int
+
+const (
+	// Error makes Eval return the policy error.
+	Error Action = iota
+	// Delay makes Eval sleep for Policy.Delay, then return nil.
+	Delay
+	// Panic makes Eval panic (simulating a crash; pair with recover or a
+	// subprocess in tests).
+	Panic
+	// PartialWrite applies only through Wrap: the wrapped writer passes
+	// Policy.Bytes bytes through, then fails every subsequent write. Eval
+	// treats it as a no-op so one site can guard both the call and the
+	// stream it writes.
+	PartialWrite
+)
+
+// Policy describes how an armed site misbehaves.
+type Policy struct {
+	Action Action
+	// Err is returned by firing Error/PartialWrite policies; nil selects
+	// a message wrapping ErrInjected.
+	Err error
+	// Delay is the sleep for Action == Delay.
+	Delay time.Duration
+	// Bytes is the number of bytes a PartialWrite lets through before
+	// failing.
+	Bytes int64
+	// Odds is the probability an evaluation fires, drawn from the site's
+	// deterministic RNG. 0 or >= 1 means always.
+	Odds float64
+	// Skip suppresses the first Skip evaluations.
+	Skip int
+	// Times disarms the site after it has fired this many times; 0 means
+	// unlimited.
+	Times int
+}
+
+// state is one armed site.
+type state struct {
+	p     Policy
+	rng   *rand.Rand
+	evals int
+	fires int
+}
+
+var (
+	// active counts armed sites; Eval/Wrap fast-path on it being zero.
+	active atomic.Int32
+
+	mu    sync.Mutex
+	sites       = map[string]*state{}
+	seed  int64 = 1
+)
+
+// SetSeed fixes the base seed of every subsequently armed site's RNG.
+func SetSeed(s int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	seed = s
+}
+
+// Enable arms site with p, replacing any existing policy (and resetting
+// its counters).
+func Enable(site string, p Policy) {
+	if p.Err == nil {
+		p.Err = fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; !ok {
+		active.Add(1)
+	}
+	h := fnv.New64a()
+	io.WriteString(h, site)
+	sites[site] = &state{p: p, rng: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))}
+}
+
+// Disable disarms site. Disabling an unarmed site is a no-op.
+func Disable(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; ok {
+		delete(sites, site)
+		active.Add(-1)
+	}
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	active.Add(-int32(len(sites)))
+	sites = map[string]*state{}
+}
+
+// Enabled reports whether site is armed (fired-out sites still count).
+func Enabled(site string) bool {
+	if active.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := sites[site]
+	return ok
+}
+
+// Hits returns how many times site has fired since it was armed.
+func Hits(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := sites[site]; ok {
+		return st.fires
+	}
+	return 0
+}
+
+// Evals returns how many times site has been evaluated since it was armed.
+func Evals(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := sites[site]; ok {
+		return st.evals
+	}
+	return 0
+}
+
+// List returns the armed site names, sorted.
+func List() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval is the injection point: production code calls it where a fault
+// could occur. With no site armed it costs one atomic load. When the
+// site's policy fires, Error returns the policy error, Delay sleeps and
+// returns nil, Panic panics; PartialWrite is a no-op here (see Wrap).
+func Eval(site string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	return evalSlow(site)
+}
+
+func evalSlow(site string) error {
+	p, fired := arm(site)
+	if !fired {
+		return nil
+	}
+	switch p.Action {
+	case Error:
+		return p.Err
+	case Delay:
+		time.Sleep(p.Delay)
+		return nil
+	case Panic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s", site))
+	default: // PartialWrite only has meaning through Wrap.
+		return nil
+	}
+}
+
+// arm consumes one evaluation of site, returning its policy and whether
+// it fires this time.
+func arm(site string) (Policy, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := sites[site]
+	if !ok {
+		return Policy{}, false
+	}
+	st.evals++
+	if st.evals <= st.p.Skip {
+		return Policy{}, false
+	}
+	if st.p.Times > 0 && st.fires >= st.p.Times {
+		return Policy{}, false
+	}
+	if st.p.Odds > 0 && st.p.Odds < 1 && st.rng.Float64() >= st.p.Odds {
+		return Policy{}, false
+	}
+	st.fires++
+	return st.p, true
+}
+
+// Wrap intercepts a write stream at site. With the site disarmed (or armed
+// with a non-PartialWrite policy, or not firing) it returns w unchanged;
+// when a PartialWrite policy fires it returns a writer that lets
+// Policy.Bytes bytes through and fails afterwards — the torn-write
+// simulator for snapshot durability tests.
+func Wrap(site string, w io.Writer) io.Writer {
+	if active.Load() == 0 {
+		return w
+	}
+	mu.Lock()
+	st, ok := sites[site]
+	isPartial := ok && st.p.Action == PartialWrite
+	mu.Unlock()
+	if !isPartial {
+		return w
+	}
+	p, fired := arm(site)
+	if !fired {
+		return w
+	}
+	return &partialWriter{w: w, left: p.Bytes, err: p.Err}
+}
+
+// partialWriter delivers the configured byte budget, then fails.
+type partialWriter struct {
+	w    io.Writer
+	left int64
+	err  error
+}
+
+func (p *partialWriter) Write(b []byte) (int, error) {
+	if p.left <= 0 {
+		return 0, p.err
+	}
+	if int64(len(b)) <= p.left {
+		n, err := p.w.Write(b)
+		p.left -= int64(n)
+		return n, err
+	}
+	n, err := p.w.Write(b[:p.left])
+	p.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, p.err
+}
+
+// --- spec parsing (environment activation) ---
+
+// ParseSpec parses one policy spec: action[(arg)][:mod=val,...].
+func ParseSpec(spec string) (Policy, error) {
+	var p Policy
+	head, mods, hasMods := strings.Cut(spec, ":")
+	action, arg, hasArg := strings.Cut(head, "(")
+	if hasArg {
+		var ok bool
+		arg, ok = strings.CutSuffix(arg, ")")
+		if !ok {
+			return p, fmt.Errorf("failpoint: unterminated argument in %q", spec)
+		}
+	}
+	switch action {
+	case "error":
+		p.Action = Error
+		if hasArg && arg != "" {
+			p.Err = fmt.Errorf("%w: %s", ErrInjected, arg)
+		}
+	case "delay":
+		p.Action = Delay
+		if !hasArg {
+			return p, fmt.Errorf("failpoint: delay needs a duration in %q", spec)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return p, fmt.Errorf("failpoint: bad delay %q", arg)
+		}
+		p.Delay = d
+	case "panic":
+		p.Action = Panic
+	case "partial":
+		p.Action = PartialWrite
+		if !hasArg {
+			return p, fmt.Errorf("failpoint: partial needs a byte count in %q", spec)
+		}
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("failpoint: bad partial byte count %q", arg)
+		}
+		p.Bytes = n
+	default:
+		return p, fmt.Errorf("failpoint: unknown action %q", action)
+	}
+	if !hasMods {
+		return p, nil
+	}
+	for _, mod := range strings.Split(mods, ",") {
+		key, val, ok := strings.Cut(mod, "=")
+		if !ok {
+			return p, fmt.Errorf("failpoint: bad modifier %q", mod)
+		}
+		switch key {
+		case "odds":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return p, fmt.Errorf("failpoint: bad odds %q", val)
+			}
+			p.Odds = f
+		case "skip":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("failpoint: bad skip %q", val)
+			}
+			p.Skip = n
+		case "times":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("failpoint: bad times %q", val)
+			}
+			p.Times = n
+		default:
+			return p, fmt.Errorf("failpoint: unknown modifier %q", key)
+		}
+	}
+	return p, nil
+}
+
+// EnableFromEnv arms sites from a FAST_FAILPOINTS-style string:
+// semicolon-separated site=spec pairs. It returns the first parse error
+// but arms every valid pair before it.
+func EnableFromEnv(env string) error {
+	for _, pair := range strings.Split(env, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		site, spec, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: missing '=' in %q", pair)
+		}
+		p, err := ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		Enable(strings.TrimSpace(site), p)
+	}
+	return nil
+}
+
+func init() {
+	if s := os.Getenv("FAST_FAILPOINTS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			SetSeed(v)
+		}
+	}
+	if env := os.Getenv("FAST_FAILPOINTS"); env != "" {
+		if err := EnableFromEnv(env); err != nil {
+			fmt.Fprintf(os.Stderr, "failpoint: ignoring FAST_FAILPOINTS: %v\n", err)
+			Reset()
+		}
+	}
+}

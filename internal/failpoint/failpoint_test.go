@@ -1,0 +1,249 @@
+package failpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	Reset()
+	if err := Eval("some/site"); err != nil {
+		t.Fatalf("disabled Eval returned %v", err)
+	}
+	var buf bytes.Buffer
+	if w := Wrap("some/site", &buf); w != &buf {
+		t.Fatal("disabled Wrap did not return the writer unchanged")
+	}
+	if Enabled("some/site") {
+		t.Fatal("unarmed site reports enabled")
+	}
+}
+
+func TestErrorPolicy(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("t/err", Policy{Action: Error})
+	err := Eval("t/err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "t/err") {
+		t.Fatalf("error does not name the site: %v", err)
+	}
+	if Hits("t/err") != 1 || Evals("t/err") != 1 {
+		t.Fatalf("counters: hits=%d evals=%d", Hits("t/err"), Evals("t/err"))
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	sentinel := errors.New("boom")
+	Enable("t/custom", Policy{Action: Error, Err: sentinel})
+	if err := Eval("t/custom"); !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+}
+
+func TestSkipAndTimes(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("t/st", Policy{Action: Error, Skip: 2, Times: 3})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Eval("t/st") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("skip=2 times=3 over 10 evals fired %d times, want 3", fired)
+	}
+	if Evals("t/st") != 10 || Hits("t/st") != 3 {
+		t.Fatalf("counters: evals=%d hits=%d", Evals("t/st"), Hits("t/st"))
+	}
+}
+
+func TestOddsDeterministic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	run := func() []bool {
+		SetSeed(7)
+		Enable("t/odds", Policy{Action: Error, Odds: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Eval("t/odds") != nil
+		}
+		Disable("t/odds")
+		return out
+	}
+	a, b := run(), run()
+	var fires int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at eval %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("odds 0.5 fired %d/%d times — not probabilistic", fires, len(a))
+	}
+}
+
+func TestDelayPolicy(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("t/delay", Policy{Action: Delay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Eval("t/delay"); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay only slept %v", d)
+	}
+}
+
+func TestPanicPolicy(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("t/panic", Policy{Action: Panic})
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("panic policy did not panic")
+		}
+	}()
+	Eval("t/panic")
+}
+
+func TestPartialWrite(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("t/partial", Policy{Action: PartialWrite, Bytes: 5})
+	var buf bytes.Buffer
+	w := Wrap("t/partial", &buf)
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("delivered %q", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || err == nil {
+		t.Fatalf("post-budget write: n=%d err=%v", n, err)
+	}
+	// Eval at a PartialWrite site must be a no-op so a single site can
+	// guard both the call and the stream.
+	if err := Eval("t/partial"); err != nil {
+		t.Fatalf("Eval on partial policy returned %v", err)
+	}
+}
+
+func TestPartialWriteExactBudgetMultipleWrites(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("t/partial2", Policy{Action: PartialWrite, Bytes: 6})
+	var buf bytes.Buffer
+	w := Wrap("t/partial2", &buf)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("in-budget write: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("defg")); n != 3 || err == nil {
+		t.Fatalf("budget-crossing write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcdef" {
+		t.Fatalf("delivered %q", buf.String())
+	}
+}
+
+func TestWrapNonPartialPolicyLeavesWriter(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("t/errsite", Policy{Action: Error})
+	var buf bytes.Buffer
+	if w := Wrap("t/errsite", &buf); w != io.Writer(&buf) {
+		t.Fatal("Wrap intercepted a non-PartialWrite site")
+	}
+	// The non-matching Wrap must not consume a fire.
+	if Hits("t/errsite") != 0 {
+		t.Fatalf("Wrap consumed %d fires", Hits("t/errsite"))
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Policy
+	}{
+		{"error", Policy{Action: Error}},
+		{"error(disk gone)", Policy{Action: Error}},
+		{"delay(15ms)", Policy{Action: Delay, Delay: 15 * time.Millisecond}},
+		{"panic", Policy{Action: Panic}},
+		{"partial(128)", Policy{Action: PartialWrite, Bytes: 128}},
+		{"error:odds=0.25,skip=1,times=4", Policy{Action: Error, Odds: 0.25, Skip: 1, Times: 4}},
+	}
+	for _, tc := range cases {
+		p, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+		}
+		if p.Action != tc.want.Action || p.Delay != tc.want.Delay ||
+			p.Bytes != tc.want.Bytes || p.Odds != tc.want.Odds ||
+			p.Skip != tc.want.Skip || p.Times != tc.want.Times {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", tc.spec, p, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"explode", "delay", "delay(xyz)", "partial(-3)", "partial",
+		"error:odds=2", "error:bogus=1", "error:times=x", "error(unterminated",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	err := EnableFromEnv(" a/b=error ; c/d=delay(1ms):times=2 ;")
+	if err != nil {
+		t.Fatalf("EnableFromEnv: %v", err)
+	}
+	if got := List(); len(got) != 2 || got[0] != "a/b" || got[1] != "c/d" {
+		t.Fatalf("armed sites: %v", got)
+	}
+	if err := EnableFromEnv("no-equals-here"); err == nil {
+		t.Fatal("malformed env accepted")
+	}
+}
+
+// BenchmarkEvalDisabled pins the zero-cost contract: with no site armed,
+// Eval is a single atomic load and must stay in the ~1ns range. A
+// regression here taxes every instrumented hot path in the tree.
+func BenchmarkEvalDisabled(b *testing.B) {
+	Reset()
+	b.Cleanup(Reset)
+	for i := 0; i < b.N; i++ {
+		if err := Eval(CuckooInsertFull); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalArmedOtherSite measures the cost when some OTHER site is
+// armed — instrumented paths pay a map lookup only in that regime.
+func BenchmarkEvalArmedOtherSite(b *testing.B) {
+	Reset()
+	b.Cleanup(Reset)
+	Enable(ClientTransport, Policy{Action: Error})
+	for i := 0; i < b.N; i++ {
+		if err := Eval(CuckooInsertFull); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

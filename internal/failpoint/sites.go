@@ -1,0 +1,53 @@
+package failpoint
+
+// The compiled-in failpoint site inventory. Each constant names one place
+// production code consults the framework; the prefix is the owning
+// package. DESIGN.md ("Failure model & recovery") documents what failure
+// each site simulates and which tests drive it.
+const (
+	// Snapshot serialization (internal/core). The header site guards the
+	// container header write; the section site is evaluated before each
+	// section payload; the read site simulates an I/O error at the start
+	// of deserialization (distinct from corruption, which the per-section
+	// CRCs detect organically).
+	CoreSnapshotWriteHeader  = "core/snapshot-write-header"
+	CoreSnapshotWriteSection = "core/snapshot-write-section"
+	CoreSnapshotRead         = "core/snapshot-read"
+
+	// On-disk snapshot generations (internal/store). Sites bracket every
+	// step of the crash-safe write protocol: temp-file creation, the data
+	// write itself (arm with a PartialWrite policy for torn writes), the
+	// temp fsync, the generation rotation renames, the final rename into
+	// place, and the directory sync. A Panic policy at rotate/rename
+	// simulates dying inside the vulnerable window.
+	StoreSnapshotCreate  = "store/snapshot-create"
+	StoreSnapshotWrite   = "store/snapshot-write"
+	StoreSnapshotSync    = "store/snapshot-sync"
+	StoreSnapshotRotate  = "store/snapshot-rotate"
+	StoreSnapshotRename  = "store/snapshot-rename"
+	StoreSnapshotDirSync = "store/snapshot-dirsync"
+
+	// Serving layer (internal/server). The dispatch sites run at the top
+	// of the coalesced batch dispatchers: Delay simulates a slow engine,
+	// Error fails the whole batch, Panic exercises the dispatcher's
+	// panic containment. The inject sites fire in the request gate and
+	// synthesize admission-control backpressure (429 with Retry-After,
+	// 503) without needing real overload — the client retry tests drive
+	// bursts through them.
+	ServerDispatchQuery  = "server/dispatch-query"
+	ServerDispatchInsert = "server/dispatch-insert"
+	ServerInject429      = "server/inject-429"
+	ServerInject503      = "server/inject-503"
+
+	// Client transport (internal/client): fires before each HTTP attempt;
+	// Error simulates a transport failure (connection reset), Delay a slow
+	// network.
+	ClientTransport = "client/transport"
+
+	// Cuckoo storage (internal/cuckoo). insert-full forces a kick-chain
+	// exhaustion (the paper's rare rehash event) so the stash/rehash
+	// machinery can be driven at will; rehash fires at the top of the
+	// Resizable grow path.
+	CuckooInsertFull = "cuckoo/insert-full"
+	CuckooRehash     = "cuckoo/rehash"
+)

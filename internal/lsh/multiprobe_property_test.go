@@ -1,0 +1,68 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMultiProbeSupersetProperty checks, across randomized index shapes,
+// corpora, and queries, the defining metamorphic property of multi-probe
+// LSH: probing perturbed buckets can only ADD candidates to the exact
+// bucket's, never drop any. It also checks monotonicity — more probes
+// never shrink the candidate set.
+func TestMultiProbeSupersetProperty(t *testing.T) {
+	shapes := []Params{
+		{Dim: 4, Omega: 1.5, Seed: 5},
+		{Dim: 8, L: 3, M: 4, Omega: 0.6, Seed: 21},
+		{Dim: 16, L: 5, M: 6, Omega: 1.0, Seed: 101},
+		{Dim: 32, L: 2, M: 12, Omega: 0.85, Seed: 9},
+		{Dim: 3, L: 7, M: 2, Omega: 2.0, Seed: 64},
+	}
+	for _, params := range shapes {
+		idx, err := New(params)
+		if err != nil {
+			t.Fatalf("%+v: %v", params, err)
+		}
+		rng := rand.New(rand.NewSource(params.Seed + 1000))
+		vec := func() []float64 {
+			v := make([]float64, params.Dim)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			return v
+		}
+		for i := 0; i < 200; i++ {
+			if err := idx.Insert(ItemID(i+1), vec()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for q := 0; q < 25; q++ {
+			query := vec()
+			exact, err := idx.Query(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := map[ItemID]bool{}
+			for _, id := range exact {
+				prev[id] = true
+			}
+			for _, probes := range []int{1, 2, 4, 8} {
+				got, err := idx.QueryMultiProbe(query, probes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := map[ItemID]bool{}
+				for _, id := range got {
+					cur[id] = true
+				}
+				for id := range prev {
+					if !cur[id] {
+						t.Fatalf("%+v query %d: probes=%d dropped candidate %d present at lower probe depth",
+							params, q, probes, id)
+					}
+				}
+				prev = cur
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeImage drives the wire-image decoder with arbitrary dimensions
+// and payloads. Invariants: no panic, no allocation proportional to the
+// claimed (rather than actual) size, and on success the raster is
+// internally consistent and re-encodes losslessly.
+func FuzzDecodeImage(f *testing.F) {
+	f.Add(4, 4, base64.StdEncoding.EncodeToString(make([]byte, 4*4*8)))
+	f.Add(1, 1, base64.StdEncoding.EncodeToString([]byte{0, 0, 0, 0, 0, 0, 0xF0, 0x3F}))
+	f.Add(0, 0, "")
+	f.Add(-1, 7, "AAAA")
+	f.Add(1<<30, 1<<30, "huge dims, short payload")
+	f.Add(2, 2, "!!! not base64 !!!")
+	// NaN pixel.
+	nan := make([]byte, 8)
+	for i := range nan {
+		nan[i] = 0xFF
+	}
+	f.Add(1, 1, base64.StdEncoding.EncodeToString(nan))
+	f.Fuzz(func(t *testing.T, w, h int, pix string) {
+		im, err := DecodeImage(WireImage{W: w, H: h, Pix: pix})
+		if err != nil {
+			return
+		}
+		if im.W != w || im.H != h || len(im.Pix) != w*h {
+			t.Fatalf("accepted raster inconsistent: %dx%d with %d pixels", im.W, im.H, len(im.Pix))
+		}
+		for i, v := range im.Pix {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite pixel at %d", i)
+			}
+		}
+		// Encode/decode must round-trip to bit-identical pixels. (The base64
+		// strings themselves may differ: std decoding tolerates
+		// non-canonical trailing bits, so compare the decoded rasters.)
+		back, err := EncodeImage(im)
+		if err != nil {
+			t.Fatalf("re-encoding accepted image: %v", err)
+		}
+		im2, err := DecodeImage(back)
+		if err != nil {
+			t.Fatalf("decoding re-encoded image: %v", err)
+		}
+		if im2.W != im.W || im2.H != im.H || len(im2.Pix) != len(im.Pix) {
+			t.Fatalf("round trip changed shape for %dx%d", w, h)
+		}
+		for i := range im.Pix {
+			if math.Float64bits(im.Pix[i]) != math.Float64bits(im2.Pix[i]) {
+				t.Fatalf("round trip drifted at pixel %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeQueryRequest feeds arbitrary JSON through the exact path a
+// /v1/query body takes: decode into QueryRequest, then decode the image.
+func FuzzDecodeQueryRequest(f *testing.F) {
+	good, _ := json.Marshal(QueryRequest{
+		Image: WireImage{W: 1, H: 1, Pix: base64.StdEncoding.EncodeToString(make([]byte, 8))},
+		TopK:  10,
+	})
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"image":{"w":1000000000,"h":1000000000,"pix":""},"topk":-5}`))
+	f.Add([]byte(`{"image":{"w":1,"h":1,"pix":"` + "\x00" + `"}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"topk":9e999}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req QueryRequest
+		if err := json.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+			return
+		}
+		im, err := DecodeImage(req.Image)
+		if err != nil {
+			return
+		}
+		if im.W <= 0 || im.H <= 0 || im.W*im.H > maxWirePixels {
+			t.Fatalf("decoder accepted out-of-bounds raster %dx%d", im.W, im.H)
+		}
+	})
+}

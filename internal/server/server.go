@@ -30,8 +30,10 @@ import (
 	"time"
 
 	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/failpoint"
 	"github.com/fastrepro/fast/internal/metrics"
 	"github.com/fastrepro/fast/internal/simimg"
+	"github.com/fastrepro/fast/internal/store"
 )
 
 // Config parameterizes the serving layer.
@@ -59,6 +61,9 @@ type Config struct {
 	// MaxBodyBytes caps request bodies; 0 means 256 MB (restores carry
 	// whole snapshots).
 	MaxBodyBytes int64
+	// Recovery, when non-nil, is the daemon's startup snapshot-recovery
+	// report, surfaced by /v1/stats for operator visibility.
+	Recovery *store.RecoveryInfo
 }
 
 func (c Config) withDefaults() Config {
@@ -228,6 +233,18 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request, method string, bod
 	}
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	// Failpoints: synthesize admission-control backpressure without real
+	// overload, so client retry behavior can be driven deterministically.
+	if failpoint.Eval(failpoint.ServerInject429) != nil {
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "injected backpressure")
+		return false
+	}
+	if failpoint.Eval(failpoint.ServerInject503) != nil {
+		writeError(w, http.StatusServiceUnavailable, "injected unavailability")
 		return false
 	}
 	if err := s.adm.acquire(r.Context()); err != nil {
@@ -405,7 +422,7 @@ func (s *Server) Stats() Stats {
 	est := eng.Stats()
 	cs := eng.CacheStats()
 	qw := s.met.queueWait.Summarize()
-	return Stats{
+	st := Stats{
 		Queries:           s.met.queries.Load(),
 		QueryErrors:       s.met.queryErrors.Load(),
 		QueryDeduped:      s.met.queryDeduped.Load(),
@@ -439,6 +456,15 @@ func (s *Server) Stats() Stats {
 		CacheSingleflightWaits: cs.Summary.Waits + cs.Result.Waits,
 		CacheEpoch:             cs.Epoch,
 	}
+	if ri := s.cfg.Recovery; ri != nil {
+		st.RecoveryRan = true
+		st.RecoveryFallback = ri.Fallback
+		st.RecoveryGeneration = ri.Generation
+		st.RecoverySource = ri.Loaded
+		st.RecoveryErrors = ri.Errors
+		st.RecoverySwept = ri.Swept
+	}
+	return st
 }
 
 // --- coalesced dispatch ---
@@ -470,6 +496,18 @@ func (s *Server) dispatchQueries(batch []queryJob) {
 			}
 		}
 	}()
+	// Failpoint: Delay simulates a slow engine under the coalescer, Error
+	// fails the whole batch, Panic exercises the containment above.
+	if err := failpoint.Eval(failpoint.ServerDispatchQuery); err != nil {
+		err = fmt.Errorf("server: query dispatch failed: %w", err)
+		for _, j := range batch {
+			select {
+			case j.resp <- queryResp{err: err}:
+			default:
+			}
+		}
+		return
+	}
 	now := time.Now()
 	maxK := 0
 	for _, j := range batch {
@@ -574,6 +612,16 @@ func (s *Server) dispatchInserts(batch []insertJob) {
 			}
 		}
 	}()
+	if err := failpoint.Eval(failpoint.ServerDispatchInsert); err != nil {
+		err = fmt.Errorf("server: insert dispatch failed: %w", err)
+		for _, j := range batch {
+			select {
+			case j.resp <- err:
+			default:
+			}
+		}
+		return
+	}
 	now := time.Now()
 	photos := make([]*simimg.Photo, len(batch))
 	for i, j := range batch {

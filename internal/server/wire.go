@@ -148,4 +148,14 @@ type Stats struct {
 	ResultCacheEntries     int    `json:"result_cache_entries"`     // live result-tier entries
 	CacheSingleflightWaits int64  `json:"cache_singleflight_waits"` // lookups that piggybacked on a concurrent identical compute
 	CacheEpoch             uint64 `json:"cache_epoch"`              // index-mutation epoch versioning the result tier
+
+	// Last startup recovery (static after boot; see DESIGN.md, "Failure
+	// model & recovery"). RecoveryRan is false when the daemon started
+	// without a snapshot sweep (e.g. fresh synthetic corpus).
+	RecoveryRan        bool     `json:"recovery_ran"`
+	RecoveryFallback   bool     `json:"recovery_fallback"`         // true when an older generation had to be used
+	RecoveryGeneration int      `json:"recovery_generation"`       // generation index loaded (0 = primary)
+	RecoverySource     string   `json:"recovery_source"`           // path of the loaded snapshot
+	RecoveryErrors     []string `json:"recovery_errors,omitempty"` // load errors from newer generations
+	RecoverySwept      []string `json:"recovery_swept,omitempty"`  // abandoned temp files removed
 }

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/fastrepro/fast/internal/failpoint"
+)
+
+// Generations manages crash-safe rotation of an on-disk snapshot file.
+// The newest snapshot lives at Path, the previous generation at Path.1,
+// and so on up to Keep generations. Write follows the classic durable
+// sequence — temp file in the same directory, fsync, rotate the old
+// generations, atomic rename into place, directory fsync — so a crash at
+// any point leaves at least one complete prior snapshot on disk, and
+// Recover walks the generations newest-first until one loads.
+type Generations struct {
+	// Path is the primary snapshot location.
+	Path string
+	// Keep is how many generations to retain, including the primary.
+	// Zero means 2 (the primary plus one fallback).
+	Keep int
+}
+
+func (g *Generations) keep() int {
+	if g.Keep <= 0 {
+		return 2
+	}
+	return g.Keep
+}
+
+// genPath returns the path of generation i (0 is the primary).
+func (g *Generations) genPath(i int) string {
+	if i == 0 {
+		return g.Path
+	}
+	return fmt.Sprintf("%s.%d", g.Path, i)
+}
+
+// Paths returns every generation path, newest first.
+func (g *Generations) Paths() []string {
+	out := make([]string, g.keep())
+	for i := range out {
+		out[i] = g.genPath(i)
+	}
+	return out
+}
+
+// Write streams wt into a new primary generation. The previous primary
+// survives as generation 1 (and so on); nothing replaces the old
+// snapshots until the new bytes are complete and fsynced, so a crash —
+// torn write, failed sync, death mid-rotation — never leaves the store
+// without a loadable snapshot. Returns the byte count written.
+func (g *Generations) Write(wt io.WriterTo) (int64, error) {
+	if err := failpoint.Eval(failpoint.StoreSnapshotCreate); err != nil {
+		return 0, fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	dir := filepath.Dir(g.Path)
+	base := filepath.Base(g.Path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-")
+	if err != nil {
+		return 0, fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure below, remove the temp file so aborted writes do not
+	// accumulate (Sweep also catches ones a crash leaves behind).
+	fail := func(err error) (int64, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, err
+	}
+
+	w := failpoint.Wrap(failpoint.StoreSnapshotWrite, tmp)
+	n, err := wt.WriteTo(w)
+	if err != nil {
+		return fail(fmt.Errorf("store: writing snapshot: %w", err))
+	}
+	if err := failpoint.Eval(failpoint.StoreSnapshotSync); err != nil {
+		return fail(fmt.Errorf("store: syncing snapshot: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: closing snapshot temp file: %w", err)
+	}
+
+	// Rotate existing generations up one slot, oldest first. A missing
+	// generation is fine (first writes); a rename error aborts with the
+	// old primary untouched.
+	if err := failpoint.Eval(failpoint.StoreSnapshotRotate); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: rotating snapshot generations: %w", err)
+	}
+	for i := g.keep() - 2; i >= 0; i-- {
+		from, to := g.genPath(i), g.genPath(i+1)
+		if _, err := os.Stat(from); errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err := os.Rename(from, to); err != nil {
+			os.Remove(tmpName)
+			return 0, fmt.Errorf("store: rotating snapshot generations: %w", err)
+		}
+	}
+
+	if err := failpoint.Eval(failpoint.StoreSnapshotRename); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, g.Path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+
+	// Fsync the directory so the renames themselves are durable. Failure
+	// here is reported but the data is already in place.
+	if err := failpoint.Eval(failpoint.StoreSnapshotDirSync); err != nil {
+		return n, fmt.Errorf("store: syncing snapshot directory: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return n, fmt.Errorf("store: syncing snapshot directory: %w", serr)
+		}
+	}
+	return n, nil
+}
+
+// Sweep removes temp files abandoned by crashed writes. It returns the
+// paths it removed.
+func (g *Generations) Sweep() []string {
+	matches, _ := filepath.Glob(g.Path + ".tmp-*")
+	var swept []string
+	for _, m := range matches {
+		// Glob patterns are literal except for the wildcard, but be
+		// defensive about ever matching a live generation.
+		if m == g.Path || !strings.Contains(m, ".tmp-") {
+			continue
+		}
+		if os.Remove(m) == nil {
+			swept = append(swept, m)
+		}
+	}
+	return swept
+}
+
+// RecoveryInfo records what Recover did, for operator visibility
+// (surfaced by fastd via /v1/stats).
+type RecoveryInfo struct {
+	// Loaded is the path of the generation that loaded, or "" if none did.
+	Loaded string
+	// Generation is the index of the loaded generation (0 = primary).
+	Generation int
+	// Fallback is true when the primary was missing or corrupt and an
+	// older generation was used.
+	Fallback bool
+	// Tried lists every path attempted, newest first.
+	Tried []string
+	// Errors holds the load error for each failed attempt, aligned with
+	// the failing prefix of Tried.
+	Errors []string
+	// Swept lists abandoned temp files removed before recovery.
+	Swept []string
+}
+
+// ErrNoSnapshot is returned by Recover when no generation exists at all —
+// distinct from every generation existing but failing to load.
+var ErrNoSnapshot = errors.New("store: no snapshot generation found")
+
+// Recover sweeps abandoned temp files and then walks the generations
+// newest-first, calling load on each until one succeeds. load must return
+// an error for torn or corrupt input (core.ReadEngine's CRC validation
+// provides exactly that). The returned RecoveryInfo describes the path
+// taken; the error is non-nil only when no generation loaded.
+func (g *Generations) Recover(load func(path string, r io.Reader) error) (RecoveryInfo, error) {
+	info := RecoveryInfo{Generation: -1, Swept: g.Sweep()}
+	found := false
+	for i := 0; i < g.keep(); i++ {
+		p := g.genPath(i)
+		f, err := os.Open(p)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		found = true
+		info.Tried = append(info.Tried, p)
+		if err != nil {
+			info.Errors = append(info.Errors, err.Error())
+			continue
+		}
+		lerr := load(p, f)
+		f.Close()
+		if lerr != nil {
+			info.Errors = append(info.Errors, lerr.Error())
+			continue
+		}
+		info.Loaded = p
+		info.Generation = i
+		info.Fallback = i != 0 || len(info.Errors) > 0
+		return info, nil
+	}
+	if !found {
+		return info, ErrNoSnapshot
+	}
+	return info, fmt.Errorf("store: all %d snapshot generations failed to load: %s",
+		len(info.Tried), strings.Join(info.Errors, "; "))
+}
