@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query serve fmt-check fuzz soak ci
+.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query bench-gate serve fmt-check fuzz soak ci
 
 # Per-target budget for `make fuzz`; CI uses 60s per target.
 FUZZTIME ?= 30s
@@ -51,6 +51,17 @@ bench-cache:
 # BENCH_query.json (QPS + p50/p95/p99) for run-over-run tracking.
 bench-query:
 	$(GO) run ./cmd/fastbench -exp qps -scale 60000
+
+# Perf-regression gate: re-measure the query sweep into a scratch directory
+# and compare it against the committed BENCH_query.json baseline. Fails on a
+# >20% qps drop or a p99 blowup on any common worker count — the same check
+# the CI perf-gate job enforces. Refresh the baseline with `make bench-query`
+# (which overwrites BENCH_query.json in place) when a change legitimately
+# moves throughput.
+bench-gate:
+	@mkdir -p .benchgate
+	$(GO) run ./cmd/fastbench -exp qps -scale 60000 -artifacts .benchgate
+	$(GO) run ./cmd/benchgate -baseline BENCH_query.json -candidate .benchgate/BENCH_query.json
 
 # Boot a demo daemon over a small synthetic corpus. Ctrl-C drains and
 # writes fastd.snapshot for the next run.

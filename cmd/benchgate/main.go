@@ -1,0 +1,128 @@
+// Command benchgate compares a freshly measured query-throughput report
+// (BENCH_query.json, produced by `fastbench -exp qps`) against the committed
+// baseline and fails when the candidate regresses: a worker-count row losing
+// more than the allowed fraction of its queries/sec, or its latency tail
+// (p99) blowing up past the allowed ratio. CI runs it after the benchmark
+// job; `make bench-gate` runs the same comparison locally.
+//
+// Rows are matched by worker count and only counts present in both reports
+// are compared (the measured worker set includes GOMAXPROCS, which varies by
+// machine). A baseline recorded on a host with different hardware
+// parallelism is flagged: absolute throughput is still compared, but
+// scaling-shape differences on mismatched hosts are expected, so the
+// mismatch itself is a warning, not a failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type row struct {
+	Workers int     `json:"workers"`
+	QPS     float64 `json:"qps"`
+	MeanNs  int64   `json:"mean_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P90Ns   int64   `json:"p90_ns"`
+	P95Ns   int64   `json:"p95_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	Speedup float64 `json:"speedup"`
+}
+
+type report struct {
+	Corpus   int   `json:"corpus_photos"`
+	Queries  int   `json:"queries"`
+	TopK     int   `json:"topk"`
+	MaxProcs int   `json:"maxprocs"`
+	Rows     []row `json:"rows"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return r, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_query.json", "committed baseline report")
+	candidatePath := flag.String("candidate", "", "freshly measured report (required)")
+	maxQPSDrop := flag.Float64("max-qps-drop", 0.20, "fail when a row's qps falls more than this fraction below baseline")
+	maxTailRatio := flag.Float64("max-tail-ratio", 2.5, "fail when a row's p99 exceeds baseline p99 by more than this factor")
+	flag.Parse()
+	if *candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidatePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: candidate: %v\n", err)
+		os.Exit(2)
+	}
+
+	if base.MaxProcs != 0 && cand.MaxProcs != 0 && base.MaxProcs != cand.MaxProcs {
+		fmt.Printf("WARNING: baseline measured at GOMAXPROCS=%d, candidate at GOMAXPROCS=%d; "+
+			"scaling shape is not comparable across hosts\n", base.MaxProcs, cand.MaxProcs)
+	}
+	if base.Corpus != cand.Corpus || base.Queries != cand.Queries || base.TopK != cand.TopK {
+		fmt.Printf("WARNING: workload differs (corpus %d→%d, queries %d→%d, topk %d→%d); "+
+			"regenerate the baseline if the benchmark itself changed\n",
+			base.Corpus, cand.Corpus, base.Queries, cand.Queries, base.TopK, cand.TopK)
+	}
+
+	baseByWorkers := make(map[int]row, len(base.Rows))
+	for _, r := range base.Rows {
+		baseByWorkers[r.Workers] = r
+	}
+
+	fmt.Printf("%-8s | %12s %12s %8s | %10s %10s %8s\n",
+		"workers", "base qps", "cand qps", "delta", "base p99", "cand p99", "ratio")
+	compared, failures := 0, 0
+	for _, c := range cand.Rows {
+		b, ok := baseByWorkers[c.Workers]
+		if !ok {
+			continue
+		}
+		compared++
+		delta := c.QPS/b.QPS - 1
+		tail := float64(c.P99Ns) / float64(b.P99Ns)
+		verdict := ""
+		if delta < -*maxQPSDrop {
+			verdict = "  FAIL: qps regression"
+			failures++
+		}
+		if tail > *maxTailRatio {
+			verdict += "  FAIL: tail blowup"
+			failures++
+		}
+		fmt.Printf("%-8d | %12.1f %12.1f %+7.1f%% | %9.2fms %9.2fms %7.2fx%s\n",
+			c.Workers, b.QPS, c.QPS, 100*delta,
+			float64(b.P99Ns)/1e6, float64(c.P99Ns)/1e6, tail, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no common worker counts between baseline and candidate")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Printf("\nbenchgate: FAIL (%d violation(s); allowed qps drop %.0f%%, allowed p99 ratio %.1fx)\n",
+			failures, 100**maxQPSDrop, *maxTailRatio)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: PASS (%d row(s) within thresholds)\n", compared)
+}

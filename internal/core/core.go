@@ -155,10 +155,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// entry is the per-photo index record.
+// entry is the per-photo index record. words is the packed []uint64 image
+// of summary's set bits, precomputed at store time so the lock-free read
+// path scores candidates word-parallel (see view.go) without touching the
+// sparse form.
 type entry struct {
 	id      uint64
 	summary *bloom.Sparse
+	words   []uint64
 }
 
 // simStripeCount is the number of independently updated SimCost counter
@@ -188,6 +192,14 @@ type Engine struct {
 	table   *cuckoo.Flat
 	entries []entry // table values are indexes into this slice
 	byID    map[uint64]int
+
+	// view is the epoch-published immutable read snapshot (see view.go).
+	// Mutators rebuild or patch it under mu and publish with one atomic
+	// store; Query/QueryBatch read it without ever taking mu. basisGen
+	// counts PCA retrainings (guarded by mu) and keys the T1 summary cache
+	// so entries computed against a superseded basis can never be reused.
+	view     atomic.Pointer[readView]
+	basisGen uint64
 
 	ram     store.DiskModel // cost model for the in-memory index
 	simTick atomic.Uint32   // round-robins charges across stripes
@@ -246,7 +258,11 @@ func (e *Engine) Insert(p *simimg.Photo) error {
 	if e.pcasift == nil {
 		return errors.New("core: engine not built")
 	}
-	return e.storeLocked(p.ID, pr.sparse)
+	if err := e.storeLocked(p.ID, pr.sparse); err != nil {
+		return err
+	}
+	e.publishLocked(false, [][]uint32{pr.sparse.Bits}, []uint64{p.ID})
+	return nil
 }
 
 // prepared is the output of the FE+SM front half for one photo: everything
@@ -296,16 +312,23 @@ func (e *Engine) Len() int {
 }
 
 // Summarize runs FE+SM on an image without touching the index; it is used
-// by Query and exposed for the smartphone-side client. With the summary
-// cache enabled, repeated rasters hit the memoized summary and skip FE+SM;
-// the returned filter is always the caller's to mutate (hits are cloned).
+// by Query and exposed for the smartphone-side client. It reads the
+// published view's basis, so it never blocks on a concurrent Build. With
+// the summary cache enabled, repeated rasters hit the memoized summary and
+// skip FE+SM; the returned filter is always the caller's to mutate (hits
+// are cloned).
 func (e *Engine) Summarize(img *simimg.Image) (*bloom.Filter, error) {
+	v := e.view.Load()
+	if v == nil {
+		return nil, errors.New("core: engine not built")
+	}
 	sc := e.sumCache.Load()
 	if sc == nil {
-		return e.summarizeUncached(img)
+		return e.summarizeWith(v.pca, img)
 	}
-	ent, _, err := sc.GetOrCompute(cache.ImageKey(img.W, img.H, img.Pix), func() (summaryEntry, error) {
-		f, err := e.summarizeUncached(img)
+	key := cache.ImageKey(img.W, img.H, img.Pix).Derive(v.basisGen)
+	ent, _, err := sc.GetOrCompute(key, func() (summaryEntry, error) {
+		f, err := e.summarizeWith(v.pca, img)
 		if err != nil {
 			return summaryEntry{}, err
 		}
@@ -319,7 +342,18 @@ func (e *Engine) Summarize(img *simimg.Image) (*bloom.Filter, error) {
 	return ent.filter.Clone(), nil
 }
 
-// summarizeUncached is the cache-free FE+SM pipeline behind Summarize.
+// summarizeWith is the FE+SM pipeline against an explicit trained basis; it
+// reads no mutable engine state.
+func (e *Engine) summarizeWith(pca *feature.PCASIFT, img *simimg.Image) (*bloom.Filter, error) {
+	_, descs, err := pca.DescribeAll(img, e.cfg.Detect)
+	if err != nil {
+		return nil, err
+	}
+	return bloom.Summarize(descs, e.cfg.Summary)
+}
+
+// summarizeUncached is the locked, cache-free FE+SM pipeline behind
+// QueryUncached — the reference path the lock-free view is verified against.
 func (e *Engine) summarizeUncached(img *simimg.Image) (*bloom.Filter, error) {
 	e.mu.RLock()
 	p := e.pcasift
@@ -327,11 +361,7 @@ func (e *Engine) summarizeUncached(img *simimg.Image) (*bloom.Filter, error) {
 	if p == nil {
 		return nil, errors.New("core: engine not built")
 	}
-	_, descs, err := p.DescribeAll(img, e.cfg.Detect)
-	if err != nil {
-		return nil, err
-	}
-	return bloom.Summarize(descs, e.cfg.Summary)
+	return e.summarizeWith(p, img)
 }
 
 // Search implements Pipeline; the geo hint is ignored (FAST is
@@ -346,12 +376,16 @@ func (e *Engine) Query(img *simimg.Image, topK int) ([]SearchResult, error) {
 }
 
 // QueryParallel answers a probe with the given number of candidate-scoring
-// workers (0 means GOMAXPROCS): LSH candidates are fetched through the flat
-// cuckoo table with LookupBatch and scored by sparse-summary Jaccard
-// similarity in parallel — the multicore path of Figure 7. With the cache
-// tiers enabled, a repeated raster hits the summary tier (skipping FE+SM)
-// and a repeated summary at an unchanged index epoch hits the result tier
-// (skipping the search as well); answers are byte-identical in all cases.
+// workers (0 means GOMAXPROCS). The whole query runs against the published
+// read view without acquiring the engine lock (see view.go): LSH candidates
+// come from the frozen band maps, are resolved through the frozen flat
+// table, and are scored word-parallel by packed-summary Jaccard similarity
+// across the workers — the multicore path of Figure 7, now free of reader/
+// writer contention. With the cache tiers enabled, a repeated raster hits
+// the summary tier (skipping FE+SM) and a repeated summary at an unchanged
+// index epoch hits the result tier (skipping the search as well); answers
+// are byte-identical in all cases, including against the locked reference
+// path QueryUncached.
 func (e *Engine) QueryParallel(img *simimg.Image, topK int, workers int) ([]SearchResult, error) {
 	if topK <= 0 {
 		return nil, fmt.Errorf("core: topK must be positive, got %d", topK)
@@ -583,9 +617,10 @@ func (e *Engine) IndexBytes() int64 {
 // consistent. The serving layer reports it verbatim from /v1/stats.
 type EngineStats struct {
 	Built       bool
-	Photos      int   // live (non-deleted) indexed photos
-	Entries     int   // entry slots including deletion tombstones
-	IndexBytes  int64 // resident index size (summaries + LSH refs + cuckoo cells)
+	Photos      int    // live (non-deleted) indexed photos
+	Entries     int    // entry slots including deletion tombstones
+	Epoch       uint64 // epoch of the published lock-free read view
+	IndexBytes  int64  // resident index size (summaries + LSH refs + cuckoo cells)
 	LSHShards   int
 	TableShards int
 	Table       cuckoo.Stats
@@ -603,6 +638,7 @@ func (e *Engine) Stats() EngineStats {
 		Built:   e.pcasift != nil,
 		Photos:  len(e.byID),
 		Entries: len(e.entries),
+		Epoch:   e.PublishedEpoch(),
 		Sim:     e.simLocked(),
 	}
 	for _, ent := range e.entries {

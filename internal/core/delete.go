@@ -30,9 +30,21 @@ func (e *Engine) Delete(id uint64) error {
 	if !e.table.Delete(id) {
 		return fmt.Errorf("core: photo %d missing from flat table (index corrupt)", id)
 	}
-	e.entries[slot] = entry{} // tombstone
+	// Tombstone copy-on-write: the entries backing array is shared with
+	// published read views, so the slot must not be cleared in place under a
+	// lock-free reader. Appends extend the shared array safely (they write
+	// past every published length); overwrites copy.
+	next := make([]entry, len(e.entries), cap(e.entries))
+	copy(next, e.entries)
+	next[slot] = entry{} // tombstone
+	e.entries = next
 	delete(e.byID, id)
 	e.epoch.Add(1) // retire result-cache entries computed before the delete
+	var sets [][]uint32
+	if sp != nil && len(sp.Bits) > 0 {
+		sets = [][]uint32{sp.Bits}
+	}
+	e.publishLocked(false, sets, []uint64{id})
 	return nil
 }
 
@@ -79,5 +91,6 @@ func (e *Engine) Compact() error {
 	e.table = table
 	e.byID = byID
 	e.epoch.Add(1) // entry slots moved; cached results must not outlive them
+	e.publishLocked(true, nil, nil)
 	return nil
 }

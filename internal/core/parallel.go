@@ -170,6 +170,11 @@ func (e *Engine) BuildParallel(photos []*simimg.Photo, workers int) (BuildStats,
 			st.SummaryTime += pr.summaryTime
 			return nil
 		})
+	// Publish once, from scratch: lock-free queries answer from the previous
+	// view for the whole build and switch to the complete new index in one
+	// step (on error the partially built state is published, matching what
+	// the locked path exposed after a failed Build).
+	e.publishLocked(true, nil, nil)
 	return st, err
 }
 
@@ -200,6 +205,9 @@ func (e *Engine) InsertBatch(photos []*simimg.Photo, workers int) (BuildStats, e
 			t0 := time.Now()
 			e.mu.Lock()
 			err := e.storeLocked(photos[i].ID, pr.sparse)
+			if err == nil {
+				e.publishLocked(false, [][]uint32{pr.sparse.Bits}, []uint64{photos[i].ID})
+			}
 			e.mu.Unlock()
 			if err != nil {
 				return fmt.Errorf("core: inserting photo %d: %w", photos[i].ID, err)
@@ -247,6 +255,7 @@ func (e *Engine) trainLocked(photos []*simimg.Photo) error {
 		return fmt.Errorf("core: training PCA-SIFT: %w", err)
 	}
 	e.pcasift = p
+	e.basisGen++ // memoized summaries from the old basis must never be reused
 	return nil
 }
 
@@ -268,7 +277,10 @@ func (e *Engine) allocLocked(n int) error {
 	if err != nil {
 		return fmt.Errorf("core: building cuckoo table: %w", err)
 	}
-	e.entries = e.entries[:0]
+	// A fresh slice, not entries[:0]: the backing array may be shared with a
+	// published read view, and a rebuild must never overwrite slots a
+	// lock-free query is still reading.
+	e.entries = make([]entry, 0, n)
 	e.byID = make(map[uint64]int, n)
 	return nil
 }
@@ -287,8 +299,18 @@ func (e *Engine) storeLocked(id uint64, sparse *bloom.Sparse) error {
 		}
 	}
 	slot := len(e.entries)
-	e.entries = append(e.entries, entry{id: id, summary: sparse})
+	e.entries = append(e.entries, entry{id: id, summary: sparse, words: sparse.Packed()})
 	if err := e.table.Insert(id, uint64(slot)); err != nil {
+		// Roll the half-applied store back so every structure — LSH, entry
+		// slice, table, byID — agrees on the photo being absent. The read
+		// view resolves ids through the frozen table where the locked path
+		// uses byID; that equivalence requires the two never to disagree,
+		// even after a failed insert.
+		if len(sparse.Bits) > 0 {
+			e.index.Delete(lsh.ItemID(id), sparse.Bits)
+		}
+		e.table.Delete(id) // clear any stashed copy left by the failed insert
+		e.entries = e.entries[:slot]
 		return fmt.Errorf("flat table: %w", err)
 	}
 	e.byID[id] = slot

@@ -527,7 +527,7 @@ func readEntriesSection(br byteReader, cfg Config, pca *feature.PCASIFT) (*Engin
 	}
 	for i, re := range raw {
 		slot := len(e.entries)
-		e.entries = append(e.entries, entry{id: re.id, summary: re.sp})
+		e.entries = append(e.entries, entry{id: re.id, summary: re.sp, words: re.sp.Packed()})
 		if len(re.sp.Bits) > 0 {
 			if err := e.index.Insert(lsh.ItemID(re.id), re.sp.Bits); err != nil {
 				return nil, fmt.Errorf("%w: entry %d lsh insert: %v", errBadSnapshot, i, err)
@@ -538,6 +538,11 @@ func readEntriesSection(br byteReader, cfg Config, pca *feature.PCASIFT) (*Engin
 		}
 		e.byID[re.id] = slot
 	}
+	// The restored engine is not shared yet, but queries may start the moment
+	// the caller hot-swaps it in; publish the initial read view now. basisGen
+	// starts at 1 so restored summaries key the T1 tier like built ones do.
+	e.basisGen++
+	e.publishLocked(true, nil, nil)
 	return e, nil
 }
 

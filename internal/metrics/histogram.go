@@ -2,44 +2,65 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
-// Histogram buckets duration samples logarithmically (one bucket per
-// power-of-two microsecond range) for cheap, fixed-memory latency
+// Histogram buckets duration samples for cheap, fixed-memory latency
 // distributions — used by long-running drivers where keeping every sample
 // (as Latency does) would grow without bound.
+//
+// Buckets are log-linear over nanoseconds (the HDR-histogram scheme): each
+// power-of-two octave is split into 2^subBits linear sub-buckets, and
+// durations below 2^subBits ns are exact. A reported quantile is therefore
+// an upper bound at most 1/2^subBits (≈3.1%) above the true sample, instead
+// of the up-to-2x error a plain power-of-two bucketing gives — coarse
+// buckets made every benchmark row report the same handful of quantized
+// percentile values (p50 ≡ 4.096ms and so on), which masked real tail
+// movement from the perf-regression gate.
 type Histogram struct {
 	mu      sync.Mutex
-	buckets map[int]int64 // log2(µs) -> count
+	buckets map[int]int64 // bucketOf(ns) -> count
 	count   int64
 	sum     time.Duration
 	min     time.Duration
 	max     time.Duration
 }
 
+// subBits sets the per-octave resolution: 2^subBits linear sub-buckets per
+// power-of-two range, bounding quantile overshoot at 1/2^subBits.
+const subBits = 5
+
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
 	return &Histogram{buckets: make(map[int]int64)}
 }
 
-// bucketOf returns the log2 bucket for d (clamped at 0 for sub-µs values).
+// bucketOf maps a non-negative duration to its log-linear bucket index.
+// Indexes are contiguous: [0, 2^subBits) are exact one-nanosecond buckets,
+// then each octave o contributes 2^subBits buckets of width 2^(o-subBits).
 func bucketOf(d time.Duration) int {
-	us := d.Microseconds()
-	b := 0
-	for us > 1 {
-		us >>= 1
-		b++
+	ns := uint64(d.Nanoseconds())
+	if ns < 1<<subBits {
+		return int(ns)
 	}
-	return b
+	o := bits.Len64(ns) - 1 // o >= subBits
+	g := uint(o - subBits)  // sub-bucket width is 2^g ns
+	return int(g)*(1<<subBits) + int(ns>>g)
 }
 
-// bucketLow returns the lower bound of bucket b.
-func bucketLow(b int) time.Duration {
-	return time.Duration(int64(1)<<uint(b)) * time.Microsecond
+// bucketLow returns the inclusive lower bound of bucket idx — the inverse
+// of bucketOf up to sub-bucket width.
+func bucketLow(idx int) time.Duration {
+	if idx < 1<<subBits {
+		return time.Duration(idx)
+	}
+	g := uint(idx/(1<<subBits) - 1)
+	m := idx - int(g)*(1<<subBits) // in [2^subBits, 2^(subBits+1))
+	return time.Duration(uint64(m) << g)
 }
 
 // Record adds one sample.
@@ -78,8 +99,8 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Quantile returns an upper bound for the q-quantile (q in [0,1]) at bucket
-// resolution: the upper edge of the bucket containing that rank. Empty
-// histograms return 0.
+// resolution: the upper edge of the bucket containing that rank, clamped to
+// the recorded maximum. Empty histograms return 0.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -105,7 +126,11 @@ func (h *Histogram) quantileLocked(q float64) time.Duration {
 	for _, b := range keys {
 		seen += h.buckets[b]
 		if seen > rank {
-			return bucketLow(b + 1) // bucket upper edge
+			edge := bucketLow(b + 1) // bucket upper edge
+			if edge > h.max {
+				edge = h.max
+			}
+			return edge
 		}
 	}
 	return h.max
@@ -113,7 +138,8 @@ func (h *Histogram) quantileLocked(q float64) time.Duration {
 
 // Summarize renders the histogram as a Summary compatible with the
 // sample-keeping Latency collector. Count, Mean, Min, Max and Total are
-// exact; the order statistics are bucket-resolution upper bounds.
+// exact; the order statistics are bucket-resolution upper bounds (within
+// 1/2^subBits of the true sample).
 func (h *Histogram) Summarize() Summary {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -133,30 +159,37 @@ func (h *Histogram) Summarize() Summary {
 	return s
 }
 
-// String renders a compact text histogram, one line per occupied bucket.
+// String renders a compact text histogram, one line per occupied octave
+// (sub-buckets are folded together for readability; quantiles still use the
+// full resolution).
 func (h *Histogram) String() string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return "histogram: empty"
 	}
-	keys := make([]int, 0, len(h.buckets))
-	for b := range h.buckets {
-		keys = append(keys, b)
+	octaves := make(map[int]int64)
+	for b, n := range h.buckets {
+		octaves[b/(1<<subBits)] += n
+	}
+	keys := make([]int, 0, len(octaves))
+	for o := range octaves {
+		keys = append(keys, o)
 	}
 	sort.Ints(keys)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "histogram: %d samples, min %v, max %v\n", h.count, h.min, h.max)
 	var peak int64
-	for _, b := range keys {
-		if h.buckets[b] > peak {
-			peak = h.buckets[b]
+	for _, o := range keys {
+		if octaves[o] > peak {
+			peak = octaves[o]
 		}
 	}
-	for _, b := range keys {
-		n := h.buckets[b]
+	for _, o := range keys {
+		n := octaves[o]
 		bar := strings.Repeat("#", int(40*n/peak))
-		fmt.Fprintf(&sb, "%12v-%-12v %8d %s\n", bucketLow(b), bucketLow(b+1), n, bar)
+		fmt.Fprintf(&sb, "%12v-%-12v %8d %s\n",
+			bucketLow(o*(1<<subBits)), bucketLow((o+1)*(1<<subBits)), n, bar)
 	}
 	return sb.String()
 }

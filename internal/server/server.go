@@ -443,6 +443,7 @@ func (s *Server) Stats() Stats {
 		UptimeNs:          time.Since(s.start).Nanoseconds(),
 		Photos:            est.Photos,
 		Entries:           est.Entries,
+		IndexEpoch:        est.Epoch,
 		IndexBytes:        est.IndexBytes,
 		LSHShards:         est.LSHShards,
 		TableShards:       est.TableShards,

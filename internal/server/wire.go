@@ -132,11 +132,12 @@ type Stats struct {
 	UptimeNs          int64   `json:"uptime_ns"`          // time since the server was constructed
 
 	// Engine state (point-in-time, mutually consistent).
-	Photos      int   `json:"photos"`       // live indexed photos
-	Entries     int   `json:"entries"`      // entry slots including deletion tombstones
-	IndexBytes  int64 `json:"index_bytes"`  // resident index size
-	LSHShards   int   `json:"lsh_shards"`   // lock shards per LSH band
-	TableShards int   `json:"table_shards"` // lock shards of the flat cuckoo table
+	Photos      int    `json:"photos"`       // live indexed photos
+	Entries     int    `json:"entries"`      // entry slots including deletion tombstones
+	IndexEpoch  uint64 `json:"index_epoch"`  // epoch of the published lock-free read view
+	IndexBytes  int64  `json:"index_bytes"`  // resident index size
+	LSHShards   int    `json:"lsh_shards"`   // lock shards per LSH band
+	TableShards int    `json:"table_shards"` // lock shards of the flat cuckoo table
 
 	// Read-path cache tiers (see DESIGN.md, "Read-path caching"). Zeroes
 	// when a tier is disabled.
