@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query bench-gate serve fmt-check fuzz soak ci
+.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query bench-snapshot bench-gate serve fmt-check fuzz soak ci
 
 # Per-target budget for `make fuzz`; CI uses 60s per target.
 FUZZTIME ?= 30s
@@ -18,7 +18,7 @@ test:
 # packages (where all shared mutable state lives) and the -short variants of
 # the churn tests.
 race:
-	$(GO) test -race -short -timeout=30m ./internal/...
+	$(GO) test -race -short -timeout=45m ./internal/...
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,15 @@ bench-cache:
 bench-query:
 	$(GO) run ./cmd/fastbench -exp qps -scale 60000
 
+# Snapshot cost sweep: writes chunked generations at 0/1/5/50% insert churn,
+# compares bytes/generation against monolithic rewrites, verifies every
+# level recovers byte-identical, and writes BENCH_snapshot.json. The ≤5%
+# churn levels must dedup ≥10x or the run fails. Runs at scale 20000 (the
+# 1050-photo Wuhan corpus) so snapshots split into enough chunks for the
+# dedup measurement to be meaningful.
+bench-snapshot:
+	$(GO) run ./cmd/fastbench -exp snapshot -scale 20000
+
 # Perf-regression gate: re-measure the query sweep into a scratch directory
 # and compare it against the committed BENCH_query.json baseline. Fails on a
 # >20% qps drop or a p99 blowup on any common worker count — the same check
@@ -74,15 +83,17 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeImage$$' -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeQueryRequest$$' -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz='^FuzzReadEngine$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzReadManifest$$' -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run='^$$' -fuzz='^FuzzCuckooInsertDelete$$' -fuzztime=$(FUZZTIME) ./internal/cuckoo
 
 # Failpoint soak: every fault-injection suite (snapshot crash matrix,
-# generation rotation, injected 429/503 bursts, transport faults, cuckoo
-# exhaustion/rehash) repeated under the race detector.
+# chunk-store crash matrix + GC interleavings, generation rotation,
+# injected 429/503 bursts, transport faults, cuckoo exhaustion/rehash)
+# repeated under the race detector.
 soak:
 	$(GO) test -race -count=3 ./internal/failpoint/
 	$(GO) test -race -count=3 -timeout=20m \
-		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport' \
+		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport|Interleaving|Churn' \
 		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/
 
 fmt-check:

@@ -6,14 +6,17 @@
 //	fastbench -exp all -scale 10000 -queries 25
 //
 // Experiment IDs: table1, table2, fig3, fig4, table3, table4, fig5, fig6,
-// fig7, qps, ingest, serve, fig8a, fig8b, ablation. The qps experiment
-// reports end-to-end queries/sec of the sharded concurrent engine
-// (Engine.QueryBatch) at increasing worker counts; the ingest experiment
+// fig7, qps, ingest, serve, snapshot, fig8a, fig8b, ablation. The qps
+// experiment reports queries/sec of the sharded concurrent engine
+// (Engine.QuerySummaryBatch) at increasing worker counts with the query
+// front half hoisted out of the timed region; the ingest experiment
 // reports photos/sec of the staged parallel ingest pipeline
 // (Engine.InsertBatch) and writes BENCH_ingest.json to -artifacts; the
 // serve experiment drives the HTTP serving layer (internal/server) with 64
 // concurrent clients, compares coalesced vs naive dispatch, and writes
-// BENCH_serve.json to -artifacts.
+// BENCH_serve.json to -artifacts; the snapshot experiment measures
+// bytes/generation of content-addressed delta snapshots against
+// monolithic rewrites at increasing churn and writes BENCH_snapshot.json.
 //
 // For performance work, -cpuprofile and -memprofile write standard pprof
 // profiles of the selected experiments:

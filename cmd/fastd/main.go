@@ -53,6 +53,7 @@ func main() {
 		snapshot    = flag.String("snapshot", "", "bootstrap the index from this snapshot (generations tried newest-first)")
 		finalSnap   = flag.String("final-snapshot", "", "write the index here during graceful shutdown (rotating generations)")
 		generations = flag.Int("snapshot-generations", 2, "snapshot generations to keep (primary + fallbacks)")
+		chunked     = flag.Bool("snapshot-chunked", true, "write snapshots as content-addressed chunk manifests (dedup across generations)")
 		photos      = flag.Int("photos", 300, "synthetic bootstrap corpus size (ignored with -snapshot)")
 		scenes      = flag.Int("scenes", 10, "synthetic bootstrap scene count (ignored with -snapshot)")
 		seed        = flag.Int64("seed", 1, "synthetic bootstrap generator seed")
@@ -76,6 +77,14 @@ func main() {
 	// them onto replacement engines.
 	eng.ConfigureCache(*sumCache, *resCache)
 
+	// The persistent generation store backs both POST /v1/snapshot/save and
+	// the shutdown snapshot, so a hot save and the final one dedup against
+	// each other's chunks.
+	var snaps *store.Generations
+	if *finalSnap != "" {
+		snaps = &store.Generations{Path: *finalSnap, Keep: *generations, Chunked: *chunked}
+	}
+
 	srv, err := server.New(server.Config{
 		Engine:       eng,
 		Window:       *window,
@@ -84,6 +93,7 @@ func main() {
 		MaxInflight:  *maxInflight,
 		MaxQueue:     *maxQueue,
 		Recovery:     recovery,
+		Snapshots:    snaps,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -127,13 +137,18 @@ func main() {
 		srv.Close()
 	}
 
-	if *finalSnap != "" {
-		g := &store.Generations{Path: *finalSnap, Keep: *generations}
-		n, err := g.Write(srv.Engine())
+	if snaps != nil {
+		res, err := snaps.WriteSnapshot(srv.Engine())
 		if err != nil {
 			log.Fatalf("final snapshot: %v", err)
 		}
-		log.Printf("final snapshot written to %s (%d bytes)", *finalSnap, n)
+		if res.Chunked {
+			log.Printf("final snapshot written to %s: %d logical bytes in %d physical (%.1fx dedup; %d/%d chunks reused; GC reclaimed %d chunks / %d bytes)",
+				*finalSnap, res.LogicalBytes, res.PhysicalBytes, res.DedupRatio(),
+				res.ChunksReused, res.Chunks, res.GCChunks, res.GCBytes)
+		} else {
+			log.Printf("final snapshot written to %s (%d bytes)", *finalSnap, res.LogicalBytes)
+		}
 	}
 	log.Println("bye")
 }

@@ -1,0 +1,215 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// cdcBytes is deterministic pseudo-random content standing in for a
+// serialized snapshot payload.
+func cdcBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// testCfg is a small geometry so tests exercise many chunks cheaply.
+var testCfg = Config{MinSize: 256, AvgSize: 1024, MaxSize: 8192, Normalization: 2}
+
+// split pushes data through a Writer in the given write sizes (cycled) and
+// returns copies of the emitted chunks.
+func split(t *testing.T, cfg Config, data []byte, writeSizes ...int) [][]byte {
+	t.Helper()
+	if len(writeSizes) == 0 {
+		writeSizes = []int{len(data)}
+	}
+	var chunks [][]byte
+	w, err := NewWriter(cfg, func(c []byte) error {
+		chunks = append(chunks, append([]byte(nil), c...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	rest := data
+	for i := 0; len(rest) > 0; i++ {
+		n := writeSizes[i%len(writeSizes)]
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if _, err := w.Write(rest[:n]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		rest = rest[n:]
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return chunks
+}
+
+// Chunking must be lossless: the chunks concatenate back to the input, and
+// every chunk (except possibly the last) respects the size bounds.
+func TestWriterReassemblesAndBounds(t *testing.T) {
+	data := cdcBytes(300_000, 1)
+	chunks := split(t, testCfg, data)
+	var got []byte
+	for i, c := range chunks {
+		got = append(got, c...)
+		last := i == len(chunks)-1
+		if len(c) > testCfg.MaxSize {
+			t.Errorf("chunk %d: size %d exceeds max %d", i, len(c), testCfg.MaxSize)
+		}
+		if !last && len(c) < testCfg.MinSize {
+			t.Errorf("chunk %d: size %d below min %d (not final)", i, len(c), testCfg.MinSize)
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reassembled bytes differ from input")
+	}
+	if len(chunks) < 100 {
+		t.Fatalf("expected many chunks at avg %d over %d bytes, got %d",
+			testCfg.AvgSize, len(data), len(chunks))
+	}
+}
+
+// Cut points are a pure function of content: the same stream must produce
+// the same chunks regardless of how the bytes are batched into Write calls.
+func TestWriterDeterministicAcrossWriteSizes(t *testing.T) {
+	data := cdcBytes(150_000, 2)
+	ref := split(t, testCfg, data)
+	for _, sizes := range [][]int{{1}, {7, 13}, {4096}, {100_000}, {1, 8192, 3}} {
+		got := split(t, testCfg, data, sizes...)
+		if len(got) != len(ref) {
+			t.Fatalf("write sizes %v: %d chunks, want %d", sizes, len(got), len(ref))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], ref[i]) {
+				t.Fatalf("write sizes %v: chunk %d differs", sizes, i)
+			}
+		}
+	}
+}
+
+// The dedup property itself: editing a region in the middle of the stream
+// must leave the chunk sequence outside a small window around the edit
+// unchanged — cut points re-synchronize on content. This is what makes
+// snapshot bytes-written proportional to churn.
+func TestEditLocality(t *testing.T) {
+	data := cdcBytes(400_000, 3)
+	before := split(t, testCfg, data)
+
+	// Insert 1000 new bytes at ~1/3 of the stream: everything after the
+	// edit shifts by 1000 bytes, which defeats fixed-size blocking but not
+	// CDC.
+	edited := append([]byte(nil), data[:130_000]...)
+	edited = append(edited, cdcBytes(1000, 4)...)
+	edited = append(edited, data[130_000:]...)
+	after := split(t, testCfg, edited)
+
+	ident := make(map[string]bool, len(before))
+	for _, c := range before {
+		ident[string(c)] = true
+	}
+	var reusedBytes, totalBytes int
+	for _, c := range after {
+		totalBytes += len(c)
+		if ident[string(c)] {
+			reusedBytes += len(c)
+		}
+	}
+	if frac := float64(reusedBytes) / float64(totalBytes); frac < 0.90 {
+		t.Fatalf("only %.0f%% of bytes reused after a 1000-byte insert; CDC should localize the edit", 100*frac)
+	}
+}
+
+// Normalization must pull sizes toward the average: the bulk of chunks in
+// a long random stream land within [avg/4, 4*avg].
+func TestNormalizedSizeDistribution(t *testing.T) {
+	data := cdcBytes(1_000_000, 5)
+	chunks := split(t, testCfg, data)
+	inBand := 0
+	for _, c := range chunks {
+		if len(c) >= testCfg.AvgSize/4 && len(c) <= 4*testCfg.AvgSize {
+			inBand++
+		}
+	}
+	if frac := float64(inBand) / float64(len(chunks)); frac < 0.8 {
+		t.Fatalf("only %.0f%% of %d chunks within [avg/4, 4avg]", 100*frac, len(chunks))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MinSize: 16, AvgSize: 1024, MaxSize: 8192, Normalization: 2},  // min too small
+		{MinSize: 256, AvgSize: 1000, MaxSize: 8192, Normalization: 2}, // avg not power of two
+		{MinSize: 256, AvgSize: 128, MaxSize: 8192, Normalization: 2},  // avg < min
+		{MinSize: 256, AvgSize: 1024, MaxSize: 512, Normalization: 2},  // max < avg
+		{MinSize: 256, AvgSize: 1024, MaxSize: 8192, Normalization: 9}, // normalization out of range
+	}
+	for _, cfg := range bad {
+		if _, err := NewWriter(cfg, func([]byte) error { return nil }); err == nil {
+			t.Errorf("config %+v: want validation error", cfg)
+		}
+	}
+	if _, err := NewWriter(Config{}, nil); err == nil {
+		t.Error("nil emit: want error")
+	}
+	// Zero config adopts the documented defaults.
+	w, err := NewWriter(Config{}, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if w.cfg.MinSize != DefaultMinSize || w.cfg.AvgSize != DefaultAvgSize ||
+		w.cfg.MaxSize != DefaultMaxSize || w.cfg.Normalization != DefaultNormalization {
+		t.Errorf("defaults not applied: %+v", w.cfg)
+	}
+}
+
+func TestSplitOffsets(t *testing.T) {
+	data := cdcBytes(50_000, 6)
+	cuts, err := Split(testCfg, data)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(cuts) == 0 || cuts[len(cuts)-1] != len(data) {
+		t.Fatalf("cuts %v do not cover %d bytes", cuts, len(data))
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+	// Empty input chunks to nothing.
+	empty, err := Split(testCfg, nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty input: cuts=%v err=%v", empty, err)
+	}
+}
+
+func TestWriteAfterFlushRejected(t *testing.T) {
+	w, err := NewWriter(testCfg, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Flush: want error")
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	data := cdcBytes(4<<20, 7)
+	cfg := Config{} // production geometry
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(cfg, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/fastrepro/fast/internal/bloom"
 	"github.com/fastrepro/fast/internal/metrics"
 	"github.com/fastrepro/fast/internal/simimg"
 )
@@ -66,6 +67,76 @@ func (e *Engine) QueryBatch(imgs []*simimg.Image, topK, workers int, lat *metric
 	}
 	wg.Wait()
 	return out
+}
+
+// QuerySummary answers a prepared probe summary through the search back
+// half only (SA candidate collection, CHS fetch, ranking), skipping FE+SM
+// entirely. It returns the exact results a full Query of the originating
+// probe would return: Summarize + bloom.ToSparse + QuerySummary ≡ Query.
+// A summary with no set bits answers nil, matching the featureless-probe
+// rule of the full path.
+func (e *Engine) QuerySummary(ps *bloom.Sparse, topK, workers int) ([]SearchResult, error) {
+	if topK <= 0 {
+		return nil, fmt.Errorf("core: topK must be positive, got %d", topK)
+	}
+	if ps == nil || len(ps.Bits) == 0 {
+		return nil, nil
+	}
+	return e.searchCached(ps, topK, workers)
+}
+
+// QuerySummaryBatch fans prepared summaries across a worker pool exactly
+// like QueryBatch fans probe images, but runs only the search back half
+// per summary. This is the serving shape when the front half was computed
+// elsewhere (or, in the throughput benchmark, precomputed outside the
+// timed region so per-query FE cost cannot mask search-path scaling).
+// Results are positionally aligned and identical to per-summary
+// QuerySummary calls.
+func (e *Engine) QuerySummaryBatch(summaries []*bloom.Sparse, topK, workers int, lat *metrics.Histogram) []BatchResult {
+	out := make([]BatchResult, len(summaries))
+	if len(summaries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(summaries) {
+		workers = len(summaries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(summaries) {
+					return
+				}
+				t0 := time.Now()
+				res, err := e.querySummaryRecovering(summaries[i], topK)
+				d := time.Since(t0)
+				out[i] = BatchResult{Results: res, Err: err, Latency: d}
+				if err == nil && lat != nil {
+					lat.Record(d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// querySummaryRecovering contains a panicking summary query the same way
+// queryRecovering contains a panicking probe query.
+func (e *Engine) querySummaryRecovering(ps *bloom.Sparse, topK int) (res []SearchResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("core: query panicked: %v", p)
+		}
+	}()
+	return e.QuerySummary(ps, topK, 1)
 }
 
 // queryRecovering runs one probe, converting a panic (e.g. from a

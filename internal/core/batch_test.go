@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"github.com/fastrepro/fast/internal/bloom"
 	"github.com/fastrepro/fast/internal/metrics"
 	"github.com/fastrepro/fast/internal/simimg"
 )
@@ -80,5 +81,70 @@ func TestQueryBatchEmptyAndErrors(t *testing.T) {
 	}
 	if hist.Count() != 0 {
 		t.Errorf("failed queries recorded %d latency samples", hist.Count())
+	}
+}
+
+// TestQuerySummaryBatchMatchesQueryBatch is the prepared-path contract:
+// Summarize + ToSparse + QuerySummaryBatch must return exactly what
+// QueryBatch returns for the same probes at every worker count — the
+// hoisted front half computes the same summary the full pipeline would,
+// and the back half is shared code.
+func TestQuerySummaryBatchMatchesQueryBatch(t *testing.T) {
+	ds := testDataset(t)
+	e := builtEngine(t, ds)
+	qs, err := ds.Queries(10, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*simimg.Image, len(qs))
+	for i, q := range qs {
+		imgs[i] = q.Probe
+	}
+	full := e.QueryBatch(imgs, 50, 4, nil)
+
+	summaries := make([]*bloom.Sparse, len(imgs))
+	for i, img := range imgs {
+		f, err := e.Summarize(img)
+		if err != nil {
+			t.Fatalf("Summarize %d: %v", i, err)
+		}
+		summaries[i] = bloom.ToSparse(f)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		hist := metrics.NewHistogram()
+		batch := e.QuerySummaryBatch(summaries, 50, workers, hist)
+		if len(batch) != len(full) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(batch), len(full))
+		}
+		for i, br := range batch {
+			if br.Err != nil {
+				t.Fatalf("workers=%d summary %d: %v", workers, i, br.Err)
+			}
+			if len(br.Results) != len(full[i].Results) {
+				t.Fatalf("workers=%d summary %d: %d hits, full path returned %d",
+					workers, i, len(br.Results), len(full[i].Results))
+			}
+			for j := range br.Results {
+				if br.Results[j] != full[i].Results[j] {
+					t.Fatalf("workers=%d summary %d: result %d = %+v, full path %+v",
+						workers, i, j, br.Results[j], full[i].Results[j])
+				}
+			}
+		}
+		if got := hist.Count(); got != int64(len(imgs)) {
+			t.Errorf("workers=%d: histogram has %d samples, want %d", workers, got, len(imgs))
+		}
+	}
+
+	// Edge shapes: empty batch, nil summary, bad topK.
+	if out := e.QuerySummaryBatch(nil, 10, 4, nil); len(out) != 0 {
+		t.Errorf("empty summary batch returned %d results", len(out))
+	}
+	if res, err := e.QuerySummary(nil, 10, 1); err != nil || res != nil {
+		t.Errorf("nil summary: got (%v, %v), want (nil, nil)", res, err)
+	}
+	if _, err := e.QuerySummary(summaries[0], 0, 1); err == nil {
+		t.Error("topK=0 accepted")
 	}
 }

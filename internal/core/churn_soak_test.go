@@ -1,0 +1,80 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/store"
+)
+
+// TestSnapshotGCChurnRecoverySoak is the snapshot/GC churn loop the
+// nightly race soak runs: a live engine absorbs inserts and deletes while
+// every round writes a chunked generation (exercising dedup against the
+// previous round's chunks and the keep-N GC), and periodic recovery must
+// reproduce the live engine's answers byte-identically. Under -short (the
+// tier-1 `make race` path) the loop is trimmed to a smoke pass.
+func TestSnapshotGCChurnRecoverySoak(t *testing.T) {
+	rounds := 10
+	if testing.Short() {
+		rounds = 3
+	}
+	ds := testDatasetCached(t)
+	eng := builtEngine(t, ds)
+	qs, err := ds.Queries(4, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &store.Generations{
+		Path:    filepath.Join(t.TempDir(), "index.fast"),
+		Chunked: true,
+		CDC:     testCDCGeometry,
+	}
+
+	nextID := uint64(5_000_000)
+	var inserted []uint64
+	for round := 0; round < rounds; round++ {
+		// Churn: two inserts, and from round 2 on one delete of an earlier
+		// insert (so the serialized entry stream both grows and shifts).
+		for i := 0; i < 2; i++ {
+			ph := ds.FreshPhoto(nextID, int64(round*10+i))
+			if err := eng.Insert(ph); err != nil {
+				t.Fatalf("round %d: insert: %v", round, err)
+			}
+			inserted = append(inserted, nextID)
+			nextID++
+		}
+		if round >= 2 {
+			victim := inserted[0]
+			inserted = inserted[1:]
+			if err := eng.Delete(victim); err != nil {
+				t.Fatalf("round %d: delete: %v", round, err)
+			}
+		}
+
+		res, err := g.WriteSnapshot(eng)
+		if err != nil {
+			t.Fatalf("round %d: snapshot: %v", round, err)
+		}
+		if round > 0 && res.ChunksReused == 0 {
+			t.Fatalf("round %d: churned write reused no chunks: %+v", round, res)
+		}
+
+		if round%2 == 1 {
+			want := make([][]SearchResult, len(qs))
+			for i, q := range qs {
+				if want[i], err = eng.Query(q.Probe, 40); err != nil {
+					t.Fatal(err)
+				}
+			}
+			restored, _ := recoverEngine(t, g)
+			if restored.Len() != eng.Len() {
+				t.Fatalf("round %d: recovered Len %d, live %d", round, restored.Len(), eng.Len())
+			}
+			assertSameAnswers(t, restored, qs, want)
+		}
+	}
+	st := g.Stats()
+	if st.ChunksReused == 0 || st.LiveChunks == 0 {
+		t.Fatalf("soak stats show no dedup: %+v", st)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"path/filepath"
 	"testing"
 
+	"github.com/fastrepro/fast/internal/chunk"
 	"github.com/fastrepro/fast/internal/failpoint"
 	"github.com/fastrepro/fast/internal/store"
+	"github.com/fastrepro/fast/internal/workload"
 )
 
 // bytesTo adapts pre-serialized snapshot bytes to io.WriterTo, so each
@@ -52,93 +54,187 @@ func TestCrashRecoveryAtEveryFailpointSite(t *testing.T) {
 		}
 	}
 
-	cases := []struct {
+	type crashCase struct {
 		name         string
 		site         string
 		policy       failpoint.Policy
+		chunkedOnly  bool
 		wantFallback bool // true when the crash window leaves no primary
-	}{
-		{"temp-create-error", failpoint.StoreSnapshotCreate, failpoint.Policy{Action: failpoint.Error}, false},
-		{"partial-header", failpoint.StoreSnapshotWrite, failpoint.Policy{Action: failpoint.PartialWrite, Bytes: 4}, false},
-		{"partial-section", failpoint.StoreSnapshotWrite, failpoint.Policy{Action: failpoint.PartialWrite, Bytes: 2000}, false},
-		{"header-write-error", failpoint.CoreSnapshotWriteHeader, failpoint.Policy{Action: failpoint.Error}, false},
-		{"section-write-error", failpoint.CoreSnapshotWriteSection, failpoint.Policy{Action: failpoint.Error, Skip: 1}, false},
-		{"fsync-error", failpoint.StoreSnapshotSync, failpoint.Policy{Action: failpoint.Error}, false},
+	}
+	cases := []crashCase{
+		{"temp-create-error", failpoint.StoreSnapshotCreate, failpoint.Policy{Action: failpoint.Error}, false, false},
+		{"partial-header", failpoint.StoreSnapshotWrite, failpoint.Policy{Action: failpoint.PartialWrite, Bytes: 4}, false, false},
+		{"partial-section", failpoint.StoreSnapshotWrite, failpoint.Policy{Action: failpoint.PartialWrite, Bytes: 2000}, false, false},
+		{"header-write-error", failpoint.CoreSnapshotWriteHeader, failpoint.Policy{Action: failpoint.Error}, false, false},
+		{"section-write-error", failpoint.CoreSnapshotWriteSection, failpoint.Policy{Action: failpoint.Error, Skip: 1}, false, false},
+		{"fsync-error", failpoint.StoreSnapshotSync, failpoint.Policy{Action: failpoint.Error}, false, false},
 		// The rotate site fires before any rename, so the primary is still
 		// in place; the rename site fires after rotation moved the primary
 		// to generation 1, so recovery must fall back.
-		{"crash-during-rotate", failpoint.StoreSnapshotRotate, failpoint.Policy{Action: failpoint.Panic}, false},
-		{"crash-before-rename", failpoint.StoreSnapshotRename, failpoint.Policy{Action: failpoint.Panic}, true},
+		{"crash-during-rotate", failpoint.StoreSnapshotRotate, failpoint.Policy{Action: failpoint.Panic}, false, false},
+		{"crash-before-rename", failpoint.StoreSnapshotRename, failpoint.Policy{Action: failpoint.Panic}, false, true},
+		// Chunked-mode sites: dying while a chunk lands, while it fsyncs,
+		// or before the manifest's publish sequence begins all abort with
+		// the prior generation intact (orphan chunks are swept on
+		// recover). A crash mid-GC is covered separately below — GC runs
+		// after the publish, so that snapshot is already committed.
+		{"chunk-write-error", failpoint.StoreChunkWrite, failpoint.Policy{Action: failpoint.Error}, true, false},
+		{"chunk-write-crash", failpoint.StoreChunkWrite, failpoint.Policy{Action: failpoint.Panic, Skip: 2}, true, false},
+		{"chunk-sync-error", failpoint.StoreChunkSync, failpoint.Policy{Action: failpoint.Error}, true, false},
+		{"manifest-write-error", failpoint.StoreManifestWrite, failpoint.Policy{Action: failpoint.Error}, true, false},
+		{"manifest-write-crash", failpoint.StoreManifestWrite, failpoint.Policy{Action: failpoint.Panic}, true, false},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			t.Cleanup(failpoint.Reset)
-			failpoint.Reset()
-			g := &store.Generations{Path: filepath.Join(t.TempDir(), "index.fast")}
-			if _, err := g.Write(bytesTo(good.Bytes())); err != nil {
-				t.Fatalf("writing good generation: %v", err)
+	for _, mode := range []struct {
+		name    string
+		chunked bool
+	}{{"monolithic", false}, {"chunked", true}} {
+		for _, tc := range cases {
+			if tc.chunkedOnly && !mode.chunked {
+				continue
 			}
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				t.Cleanup(failpoint.Reset)
+				failpoint.Reset()
+				g := &store.Generations{
+					Path:    filepath.Join(t.TempDir(), "index.fast"),
+					Chunked: mode.chunked,
+					CDC:     testCDCGeometry,
+				}
+				if _, err := g.Write(bytesTo(good.Bytes())); err != nil {
+					t.Fatalf("writing good generation: %v", err)
+				}
 
-			// Attempt the doomed write; it must fail (error or crash).
-			failpoint.Enable(tc.site, tc.policy)
-			crashed := func() (failed bool) {
-				defer func() {
-					if recover() != nil {
-						failed = true
-					}
+				// Attempt the doomed write; it must fail (error or crash).
+				failpoint.Enable(tc.site, tc.policy)
+				crashed := func() (failed bool) {
+					defer func() {
+						if recover() != nil {
+							failed = true
+						}
+					}()
+					_, err := g.Write(mutated)
+					return err != nil
 				}()
-				_, err := g.Write(mutated)
-				return err != nil
-			}()
-			if !crashed {
-				t.Fatal("injected write succeeded — failpoint did not fire")
-			}
-			failpoint.Reset()
-
-			// Recover: the prior good generation must load.
-			var restored *Engine
-			info, err := g.Recover(func(path string, r io.Reader) error {
-				e, err := ReadEngine(r)
-				if err != nil {
-					return err
+				if !crashed {
+					t.Fatal("injected write succeeded — failpoint did not fire")
 				}
-				restored = e
-				return nil
+				failpoint.Reset()
+
+				// Recover: the prior good generation must load.
+				restored, info := recoverEngine(t, g)
+				if info.Fallback != tc.wantFallback {
+					t.Fatalf("Fallback = %v, want %v (info %+v)", info.Fallback, tc.wantFallback, info)
+				}
+				if restored.Len() != baseline.Len() {
+					t.Fatalf("recovered Len = %d, want %d", restored.Len(), baseline.Len())
+				}
+
+				// Zero result drift: every probe answers byte-identical to the
+				// engine that wrote the good generation.
+				assertSameAnswers(t, restored, qs, baselineAnswers)
+
+				// The torn temp file never leaked into the generation set.
+				if m, _ := filepath.Glob(g.Path + ".tmp-*"); len(m) != 0 {
+					t.Fatalf("temp files leaked: %v", m)
+				}
 			})
-			if err != nil {
-				t.Fatalf("Recover: %v (info %+v)", err, info)
-			}
-			if info.Fallback != tc.wantFallback {
-				t.Fatalf("Fallback = %v, want %v (info %+v)", info.Fallback, tc.wantFallback, info)
-			}
-			if restored.Len() != baseline.Len() {
-				t.Fatalf("recovered Len = %d, want %d", restored.Len(), baseline.Len())
-			}
-
-			// Zero result drift: every probe answers byte-identical to the
-			// engine that wrote the good generation.
-			for qi, q := range qs {
-				got, err := restored.Query(q.Probe, 40)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want := baselineAnswers[qi]
-				if len(got) != len(want) {
-					t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
-				}
-				for i := range got {
-					if got[i] != want[i] {
-						t.Fatalf("query %d result %d drifted: %+v vs %+v", qi, i, got[i], want[i])
-					}
-				}
-			}
-
-			// The torn temp file never leaked into the generation set.
-			if m, _ := filepath.Glob(g.Path + ".tmp-*"); len(m) != 0 {
-				t.Fatalf("temp files leaked: %v", m)
-			}
-		})
+		}
 	}
+}
+
+// testCDCGeometry shrinks the FastCDC bounds so engine snapshots at test
+// corpus scale split into many chunks.
+var testCDCGeometry = chunk.Config{MinSize: 256, AvgSize: 1024, MaxSize: 8192, Normalization: 2}
+
+// recoverEngine loads the newest recoverable generation into an Engine.
+func recoverEngine(t *testing.T, g *store.Generations) (*Engine, store.RecoveryInfo) {
+	t.Helper()
+	var restored *Engine
+	info, err := g.Recover(func(path string, r io.Reader) error {
+		e, err := ReadEngine(r)
+		if err != nil {
+			return err
+		}
+		restored = e
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v (info %+v)", err, info)
+	}
+	return restored, info
+}
+
+// assertSameAnswers checks every probe answers byte-identical to want.
+func assertSameAnswers(t *testing.T, e *Engine, qs []workload.Query, want [][]SearchResult) {
+	t.Helper()
+	for qi, q := range qs {
+		got, err := e.Query(q.Probe, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want[qi]) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want[qi]))
+		}
+		for i := range got {
+			if got[i] != want[qi][i] {
+				t.Fatalf("query %d result %d drifted: %+v vs %+v", qi, i, got[i], want[qi][i])
+			}
+		}
+	}
+}
+
+// TestCrashDuringChunkGCRecoversNewSnapshot kills the writer inside the
+// post-publish GC pass. Unlike the pre-publish sites, the manifest rename
+// already happened, so the snapshot being written IS committed: recovery
+// must load it, byte-identical to the writer's state — and the interrupted
+// GC must not have taken any referenced chunk with it.
+func TestCrashDuringChunkGCRecoversNewSnapshot(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	failpoint.Reset()
+	ds := testDatasetCached(t)
+	baseline := builtEngine(t, ds)
+	mutated := builtEngine(t, ds)
+	if err := mutated.Insert(ds.FreshPhoto(9_999_998, 7)); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ds.Queries(5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutatedAnswers := make([][]SearchResult, len(qs))
+	for i, q := range qs {
+		if mutatedAnswers[i], err = mutated.Query(q.Probe, 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g := &store.Generations{
+		Path:    filepath.Join(t.TempDir(), "index.fast"),
+		Chunked: true,
+		CDC:     testCDCGeometry,
+	}
+	if _, err := g.Write(baseline); err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Enable(failpoint.StoreChunkGC, failpoint.Policy{Action: failpoint.Panic})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("GC panic policy did not fire")
+			}
+		}()
+		g.Write(mutated)
+	}()
+	failpoint.Reset()
+
+	restored, info := recoverEngine(t, g)
+	if info.Fallback {
+		t.Fatalf("crash after publish must not fall back (info %+v)", info)
+	}
+	if restored.Len() != mutated.Len() {
+		t.Fatalf("recovered Len = %d, want the published snapshot's %d", restored.Len(), mutated.Len())
+	}
+	assertSameAnswers(t, restored, qs, mutatedAnswers)
 }
 
 // TestRecoverySurvivesOnDiskCorruption flips bytes in the primary

@@ -202,6 +202,7 @@ func All() []Experiment {
 		{"cache", "Read-path cache: reuse sweep, cached vs uncached (identity-verified)", RunCache},
 		{"ingest", "Throughput: staged parallel ingest pipeline (InsertBatch)", RunIngest},
 		{"serve", "Serving: coalesced network queries vs naive goroutine-per-request", RunServe},
+		{"snapshot", "Snapshot: content-addressed delta generations vs monolithic rewrites", RunSnapshot},
 		{"fig8a", "Figure 8a: network transmission overhead", RunFig8a},
 		{"fig8b", "Figure 8b: smartphone energy consumption", RunFig8b},
 		{"ablation", "Ablations: design-choice sweeps", RunAblation},

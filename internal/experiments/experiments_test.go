@@ -22,8 +22,8 @@ func tinyEnv() (*Env, *bytes.Buffer) {
 
 func TestAllRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	for _, ex := range all {
 		got, err := ByID(ex.ID)
@@ -328,5 +328,41 @@ func TestProjectQueryShapes(t *testing.T) {
 	}
 	if unknown := projectQuery("NOPE", m, "Wuhan", clu); unknown.Service != 0 {
 		t.Error("unknown scheme should project to zero")
+	}
+}
+
+func TestRunSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	e := NewEnv(Options{Scale: 300000, Queries: 2, Seed: 3, Out: &buf, ArtifactDir: dir})
+	if err := RunSnapshot(e); err != nil {
+		t.Fatalf("RunSnapshot: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dedup", "monolithic/gen", "chunked/gen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_snapshot.json"))
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var report snapshotReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(report.Rows) != 4 || report.Corpus == 0 || report.CDCAvg == 0 {
+		t.Fatalf("artifact content: %+v", report)
+	}
+	for _, row := range report.Rows {
+		if row.MonolithicBytesPerGen <= 0 || row.ChunkedBytesPerGen <= 0 || row.DedupRatio <= 0 {
+			t.Errorf("bad row: %+v", row)
+		}
+		// Unchurned generations must be dramatically cheaper than monolithic
+		// rewrites at any corpus size: only the manifest is written.
+		if row.ChurnPct == 0 && row.DedupRatio < 5 {
+			t.Errorf("0%% churn dedup ratio %.1f — chunk reuse broken", row.DedupRatio)
+		}
 	}
 }

@@ -27,6 +27,19 @@ const (
 	StoreSnapshotRename  = "store/snapshot-rename"
 	StoreSnapshotDirSync = "store/snapshot-dirsync"
 
+	// Content-addressed chunk store (internal/store, chunked generations).
+	// chunk-write fires before each chunk lands in the store, chunk-sync
+	// before the chunk file's fsync, manifest-write before the manifest
+	// temp file begins its publish sequence (which then runs through the
+	// snapshot-* sites above), and chunk-gc at the top of the
+	// post-publish / post-recover garbage-collection pass. A Panic policy
+	// at chunk-gc simulates dying mid-GC; an Error policy there skips the
+	// pass (GC is advisory — the snapshot itself is already durable).
+	StoreChunkWrite    = "store/chunk-write"
+	StoreChunkSync     = "store/chunk-sync"
+	StoreManifestWrite = "store/manifest-write"
+	StoreChunkGC       = "store/chunk-gc"
+
 	// Serving layer (internal/server). The dispatch sites run at the top
 	// of the coalesced batch dispatchers: Delay simulates a slow engine,
 	// Error fails the whole batch, Panic exercises the dispatcher's

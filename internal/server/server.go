@@ -64,6 +64,13 @@ type Config struct {
 	// Recovery, when non-nil, is the daemon's startup snapshot-recovery
 	// report, surfaced by /v1/stats for operator visibility.
 	Recovery *store.RecoveryInfo
+	// Snapshots, when non-nil, is the daemon's persistent generation store:
+	// POST /v1/snapshot/save writes the served engine into it (rotating
+	// generations, deduplicating against prior chunks when the store is
+	// chunked) and /v1/stats reports its cumulative dedup counters. With a
+	// nil store the endpoint answers 501 — streaming GET /v1/snapshot is
+	// unaffected.
+	Snapshots *store.Generations
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +208,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/insert", s.handleInsert)
 	mux.HandleFunc("/v1/delete", s.handleDelete)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/snapshot/save", s.handleSnapshotSave)
 	mux.HandleFunc("/v1/restore", s.handleRestore)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
@@ -382,6 +390,35 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.met.snapshots.Inc()
 }
 
+// handleSnapshotSave writes the served engine into the daemon's persistent
+// generation store and reports what the write cost: chunks written vs
+// reused, logical vs physical bytes, and what the post-publish GC pass
+// reclaimed. Like the streaming snapshot it bypasses admission — the write
+// serializes under the engine's read lock, coexisting with query load —
+// but unlike it the bytes land in rotated on-disk generations the next
+// boot can recover from.
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.cfg.Snapshots == nil {
+		writeError(w, http.StatusNotImplemented, "server has no persistent snapshot store (start fastd with -final-snapshot)")
+		return
+	}
+	res, err := s.cfg.Snapshots.WriteSnapshot(s.Engine())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot save failed: %v", err)
+		return
+	}
+	s.met.snapshots.Inc()
+	writeJSON(w, http.StatusOK, res)
+}
+
 // handleRestore replaces the served engine with one deserialized from the
 // request body. In-flight requests against the old engine finish against
 // it; requests admitted afterwards see the new one.
@@ -464,6 +501,10 @@ func (s *Server) Stats() Stats {
 		st.RecoverySource = ri.Loaded
 		st.RecoveryErrors = ri.Errors
 		st.RecoverySwept = ri.Swept
+	}
+	if g := s.cfg.Snapshots; g != nil {
+		ss := g.Stats()
+		st.SnapshotStore = &ss
 	}
 	return st
 }

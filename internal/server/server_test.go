@@ -5,15 +5,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/fastrepro/fast/internal/chunk"
 	"github.com/fastrepro/fast/internal/client"
 	"github.com/fastrepro/fast/internal/core"
 	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/store"
 	"github.com/fastrepro/fast/internal/workload"
 )
 
@@ -583,5 +587,96 @@ func TestStatsDocument(t *testing.T) {
 		if _, ok := raw[field]; !ok {
 			t.Errorf("stats JSON missing field %q", field)
 		}
+	}
+}
+
+// TestSnapshotSaveEndpoint covers POST /v1/snapshot/save: with a chunked
+// generation store configured, a save returns the write's dedup report, a
+// second save of the same index reuses every chunk, /v1/stats surfaces the
+// store counters, and a store-less server answers 501.
+func TestSnapshotSaveEndpoint(t *testing.T) {
+	eng, _ := baseEngine(t)
+	g := &store.Generations{
+		Path:    filepath.Join(t.TempDir(), "index.fast"),
+		Chunked: true,
+		CDC:     chunk.Config{MinSize: 256, AvgSize: 1024, MaxSize: 8192, Normalization: 2},
+	}
+	_, hs, _ := startServer(t, server.Config{Engine: eng, Snapshots: g})
+
+	save := func() store.WriteResult {
+		t.Helper()
+		resp, err := hs.Client().Post(hs.URL+"/v1/snapshot/save", "application/json", nil)
+		if err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("save status %d", resp.StatusCode)
+		}
+		var res store.WriteResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatalf("decoding save response: %v", err)
+		}
+		return res
+	}
+
+	first := save()
+	if !first.Chunked || first.Chunks == 0 || first.ChunksNew == 0 {
+		t.Fatalf("first save wrote no chunks: %+v", first)
+	}
+	second := save()
+	if second.ChunksNew != 0 || second.ChunksReused != second.Chunks {
+		t.Fatalf("identical re-save did not dedup fully: %+v", second)
+	}
+	if second.PhysicalBytes >= second.LogicalBytes {
+		t.Fatalf("deduped save not cheaper than logical: %+v", second)
+	}
+
+	resp, err := hs.Client().Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotStore == nil {
+		t.Fatal("stats missing snapshot_store")
+	}
+	if st.SnapshotStore.Snapshots != 2 || st.SnapshotStore.ChunksReused == 0 ||
+		st.SnapshotStore.LiveChunks == 0 {
+		t.Fatalf("snapshot_store counters wrong: %+v", st.SnapshotStore)
+	}
+	if st.Snapshots != 2 {
+		t.Fatalf("serving snapshot counter = %d, want 2", st.Snapshots)
+	}
+
+	// The saved generations must actually be recoverable.
+	var restored *core.Engine
+	if _, err := g.Recover(func(path string, r io.Reader) error {
+		e, err := core.ReadEngine(r)
+		if err != nil {
+			return err
+		}
+		restored = e
+		return nil
+	}); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if restored.Len() != eng.Len() {
+		t.Fatalf("recovered Len %d, want %d", restored.Len(), eng.Len())
+	}
+
+	// A server without a persistent store refuses the endpoint.
+	eng2, _ := baseEngine(t)
+	_, hs2, _ := startServer(t, server.Config{Engine: eng2})
+	resp2, err := hs2.Client().Post(hs2.URL+"/v1/snapshot/save", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("store-less save status %d, want 501", resp2.StatusCode)
 	}
 }

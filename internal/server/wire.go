@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"github.com/fastrepro/fast/internal/simimg"
+	"github.com/fastrepro/fast/internal/store"
 )
 
 // The wire format of the /v1 API. Probe and insert images travel as raw
@@ -159,4 +160,10 @@ type Stats struct {
 	RecoverySource     string   `json:"recovery_source"`           // path of the loaded snapshot
 	RecoveryErrors     []string `json:"recovery_errors,omitempty"` // load errors from newer generations
 	RecoverySwept      []string `json:"recovery_swept,omitempty"`  // abandoned temp files removed
+
+	// SnapshotStore reports the persistent generation store's cumulative
+	// dedup effect (chunks written vs reused, logical vs physical bytes,
+	// live chunk count, last-GC reclaim) when the daemon has one; nil
+	// otherwise. See store.StoreStats for field documentation.
+	SnapshotStore *store.StoreStats `json:"snapshot_store,omitempty"`
 }

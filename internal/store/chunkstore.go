@@ -1,0 +1,174 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/fastrepro/fast/internal/failpoint"
+)
+
+// chunkStore is the content-addressed half of a chunked Generations: a
+// directory of immutable chunk files named by their SHA-256, fanned out
+// over 256 two-hex-digit subdirectories (restic's repository layout):
+//
+//	<snapshot>.chunks/<hex[0:2]>/<hex>
+//
+// Chunks are written with the same temp-fsync-rename discipline as
+// generations, so a chunk file that exists under its final name always
+// holds complete, durable bytes. Two writers racing on the same chunk is
+// benign: the content is identical by construction (the name IS the
+// hash), and rename is atomic.
+type chunkStore struct {
+	dir string
+}
+
+const chunkTempPrefix = "chunk.tmp-"
+
+// chunkDirFor derives the chunk directory for a snapshot path.
+func chunkDirFor(snapshotPath string) string { return snapshotPath + ".chunks" }
+
+func (cs *chunkStore) path(id ChunkID) string {
+	hex := id.String()
+	return filepath.Join(cs.dir, hex[:2], hex)
+}
+
+// has reports whether the chunk already exists under its final name.
+func (cs *chunkStore) has(id ChunkID) bool {
+	_, err := os.Stat(cs.path(id))
+	return err == nil
+}
+
+// write stores a chunk durably, returning false when it was already
+// present (the dedup hit). The caller has already verified id ==
+// sha256(data).
+func (cs *chunkStore) write(id ChunkID, data []byte) (wrote bool, err error) {
+	p := cs.path(id)
+	if cs.has(id) {
+		return false, nil
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, fmt.Errorf("store: creating chunk directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, chunkTempPrefix)
+	if err != nil {
+		return false, fmt.Errorf("store: creating chunk temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (bool, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return false, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(fmt.Errorf("store: writing chunk: %w", err))
+	}
+	if err := failpoint.Eval(failpoint.StoreChunkSync); err != nil {
+		return fail(fmt.Errorf("store: syncing chunk: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing chunk: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return false, fmt.Errorf("store: closing chunk temp file: %w", err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return false, fmt.Errorf("store: publishing chunk: %w", err)
+	}
+	// Make the rename itself durable before any manifest can reference the
+	// chunk.
+	if d, err := os.Open(dir); err == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return true, fmt.Errorf("store: syncing chunk directory: %w", serr)
+		}
+	}
+	return true, nil
+}
+
+// read loads a chunk and verifies both its length and its content hash
+// against the name, so a corrupt or truncated chunk file surfaces as a
+// load error (and Recover falls back a generation) instead of silently
+// feeding bad bytes to the deserializer.
+func (cs *chunkStore) read(id ChunkID, length uint32) ([]byte, error) {
+	data, err := os.ReadFile(cs.path(id))
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(data)) != length {
+		return nil, fmt.Errorf("store: chunk %s is %d bytes, manifest says %d", id, len(data), length)
+	}
+	if got := ChunkID(sha256.Sum256(data)); got != id {
+		return nil, fmt.Errorf("store: chunk %s content hashes to %s", id, got)
+	}
+	return data, nil
+}
+
+// sweepTemps removes chunk temp files abandoned by crashed writes,
+// returning their paths.
+func (cs *chunkStore) sweepTemps() []string {
+	matches, _ := filepath.Glob(filepath.Join(cs.dir, "??", chunkTempPrefix+"*"))
+	var swept []string
+	for _, m := range matches {
+		if !strings.Contains(filepath.Base(m), chunkTempPrefix) {
+			continue
+		}
+		if os.Remove(m) == nil {
+			swept = append(swept, m)
+		}
+	}
+	return swept
+}
+
+// scan walks every chunk under its final name.
+func (cs *chunkStore) scan(fn func(id ChunkID, size int64)) error {
+	err := filepath.WalkDir(cs.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, chunkTempPrefix) {
+			return nil
+		}
+		raw, derr := hex.DecodeString(name)
+		if derr != nil || len(raw) != sha256.Size {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		fn(ChunkID(raw), info.Size())
+		return nil
+	})
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// gc removes every chunk not in live, returning the count and bytes
+// reclaimed. Unknown files (wrong name shape) are left alone.
+func (cs *chunkStore) gc(live map[ChunkID]struct{}) (int, int64, error) {
+	var n int
+	var bytes int64
+	err := cs.scan(func(id ChunkID, size int64) {
+		if _, ok := live[id]; ok {
+			return
+		}
+		if os.Remove(cs.path(id)) == nil {
+			n++
+			bytes += size
+		}
+	})
+	return n, bytes, err
+}

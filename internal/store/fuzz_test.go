@@ -1,0 +1,60 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadManifest drives arbitrary bytes through the manifest decoder.
+// The invariants: never panic, never allocate unboundedly (a forged count
+// field must not translate into a giant up-front slice — the decoder grows
+// the chunk list only as entry bytes actually arrive), and accept only
+// inputs that re-encode to the identical bytes (decode∘encode = id on the
+// accepted set).
+func FuzzReadManifest(f *testing.F) {
+	// Seeds: a small valid manifest, an empty one, and near-miss corruptions.
+	valid := &Manifest{PayloadLen: 2048, PayloadCRC: 0x1234abcd}
+	for i := 0; i < 2; i++ {
+		var id ChunkID
+		for j := range id {
+			id[j] = byte(i + j)
+		}
+		valid.Chunks = append(valid.Chunks, ManifestChunk{ID: id, Len: 1024})
+	}
+	enc := valid.encode()
+	f.Add(enc)
+	f.Add((&Manifest{}).encode())
+	f.Add(enc[:len(enc)-3]) // truncated trailer
+	f.Add([]byte(manifestMagic))
+	f.Add([]byte("FASTSNP1 not a manifest"))
+	forged := append([]byte(nil), enc...)
+	forged[24], forged[25], forged[26] = 0xff, 0xff, 0x3f // count = ~4M entries
+	f.Add(forged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be exactly what encode produces: no trailing
+		// garbage, no alternative encodings.
+		if !bytes.Equal(m.encode(), data) {
+			t.Fatalf("accepted manifest does not round-trip: %d bytes in, %d re-encoded",
+				len(data), len(m.encode()))
+		}
+		// Structural invariants the rest of the store relies on.
+		var total uint64
+		for _, c := range m.Chunks {
+			if c.Len == 0 || c.Len > maxChunkLen {
+				t.Fatalf("accepted chunk length %d", c.Len)
+			}
+			total += uint64(c.Len)
+		}
+		if total != m.PayloadLen {
+			t.Fatalf("accepted inconsistent lengths: sum %d, header %d", total, m.PayloadLen)
+		}
+		if len(m.Chunks) > maxManifestChunks {
+			t.Fatalf("accepted %d chunks", len(m.Chunks))
+		}
+	})
+}

@@ -1,13 +1,19 @@
 package store
 
 import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
+	"github.com/fastrepro/fast/internal/chunk"
 	"github.com/fastrepro/fast/internal/failpoint"
 )
 
@@ -18,12 +24,90 @@ import (
 // generations, atomic rename into place, directory fsync — so a crash at
 // any point leaves at least one complete prior snapshot on disk, and
 // Recover walks the generations newest-first until one loads.
+//
+// With Chunked set, a generation is no longer the payload itself but a
+// small manifest over a content-addressed chunk store (see manifest.go and
+// chunkstore.go): the payload is split at FastCDC boundaries, each chunk
+// is stored once under its SHA-256, and consecutive generations share
+// every unchanged chunk — snapshot I/O becomes proportional to churn, not
+// index size. The manifest file goes through the same temp-fsync-rotate-
+// rename-dirsync sequence as a monolithic snapshot, and every chunk it
+// references is fsynced before the manifest is renamed into place, so the
+// crash-safety argument carries over unchanged. Recover sniffs each
+// generation's magic, so chunked and monolithic generations (including
+// pre-existing FASTSNP1 files) coexist in one rotation.
 type Generations struct {
 	// Path is the primary snapshot location.
 	Path string
 	// Keep is how many generations to retain, including the primary.
 	// Zero means 2 (the primary plus one fallback).
 	Keep int
+	// Chunked selects content-addressed delta snapshots. Existing
+	// monolithic generations remain readable; the next Write produces a
+	// manifest.
+	Chunked bool
+	// CDC overrides the FastCDC geometry for chunked writes; zero fields
+	// take the production defaults (2 KB / 64 KB / 1 MB, normalization 2).
+	CDC chunk.Config
+
+	// mu serializes Write / Recover / GC; Stats takes it briefly too.
+	mu    sync.Mutex
+	stats StoreStats
+}
+
+// StoreStats aggregates the dedup effect of a chunked store, surfaced by
+// /v1/stats and fastctl snapshot. Cumulative counters cover this process's
+// writes; Live* reflect the on-disk store at the last write/recover/GC.
+type StoreStats struct {
+	// Chunked mirrors the store mode.
+	Chunked bool `json:"chunked"`
+	// Snapshots is the number of successful writes this process made.
+	Snapshots int64 `json:"snapshots"`
+	// ChunksWritten / ChunksReused count chunk-store hits and misses
+	// across all writes: reused chunks cost no I/O.
+	ChunksWritten int64 `json:"chunks_written"`
+	ChunksReused  int64 `json:"chunks_reused"`
+	// LogicalBytes is what the monolithic path would have written;
+	// PhysicalBytes is what the chunked path actually wrote (new chunks +
+	// manifests).
+	LogicalBytes  int64 `json:"logical_bytes"`
+	PhysicalBytes int64 `json:"physical_bytes"`
+	// LiveChunks / LiveBytes describe the chunk store after the last GC.
+	LiveChunks int64 `json:"live_chunks"`
+	LiveBytes  int64 `json:"live_bytes"`
+	// LastGCChunks / LastGCBytes are what the most recent GC reclaimed.
+	LastGCChunks int64 `json:"last_gc_chunks"`
+	LastGCBytes  int64 `json:"last_gc_bytes"`
+}
+
+// WriteResult describes one snapshot write. For monolithic stores
+// PhysicalBytes == LogicalBytes and the chunk fields are zero.
+type WriteResult struct {
+	Chunked bool `json:"chunked"`
+	// LogicalBytes is the serialized payload size.
+	LogicalBytes int64 `json:"logical_bytes"`
+	// PhysicalBytes is what actually hit the disk: new chunk bytes plus
+	// the manifest (or the whole payload for monolithic writes).
+	PhysicalBytes int64 `json:"physical_bytes"`
+	// ManifestBytes is the manifest file size (0 for monolithic).
+	ManifestBytes int64 `json:"manifest_bytes"`
+	// Chunks is the total chunk count of the payload; ChunksNew of them
+	// were written, ChunksReused were already present.
+	Chunks       int `json:"chunks"`
+	ChunksNew    int `json:"chunks_new"`
+	ChunksReused int `json:"chunks_reused"`
+	// GCChunks / GCBytes are what the post-publish GC pass reclaimed.
+	GCChunks int   `json:"gc_chunks"`
+	GCBytes  int64 `json:"gc_bytes"`
+}
+
+// DedupRatio is logical over physical bytes — "how many times cheaper than
+// a monolithic write" — or 1 for monolithic results.
+func (r WriteResult) DedupRatio() float64 {
+	if !r.Chunked || r.PhysicalBytes <= 0 {
+		return 1
+	}
+	return float64(r.LogicalBytes) / float64(r.PhysicalBytes)
 }
 
 func (g *Generations) keep() int {
@@ -50,12 +134,121 @@ func (g *Generations) Paths() []string {
 	return out
 }
 
+// chunks returns the chunk store companion of this snapshot path.
+func (g *Generations) chunks() *chunkStore {
+	return &chunkStore{dir: chunkDirFor(g.Path)}
+}
+
 // Write streams wt into a new primary generation. The previous primary
 // survives as generation 1 (and so on); nothing replaces the old
 // snapshots until the new bytes are complete and fsynced, so a crash —
 // torn write, failed sync, death mid-rotation — never leaves the store
-// without a loadable snapshot. Returns the byte count written.
+// without a loadable snapshot. Returns the serialized payload size (what
+// a monolithic write costs); WriteSnapshot exposes the full accounting.
 func (g *Generations) Write(wt io.WriterTo) (int64, error) {
+	res, err := g.WriteSnapshot(wt)
+	return res.LogicalBytes, err
+}
+
+// WriteSnapshot is Write with full dedup accounting. In chunked mode the
+// payload streams through the FastCDC splitter into the content-addressed
+// store — already-present chunks are skipped, new ones are fsynced — and
+// the generation published is a manifest naming them.
+func (g *Generations) WriteSnapshot(wt io.WriterTo) (WriteResult, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.Chunked {
+		n, err := g.publishLocked(func(w io.Writer) (int64, error) {
+			return wt.WriteTo(failpoint.Wrap(failpoint.StoreSnapshotWrite, w))
+		})
+		if err != nil {
+			return WriteResult{}, err
+		}
+		res := WriteResult{LogicalBytes: n, PhysicalBytes: n}
+		g.noteWrite(res)
+		return res, nil
+	}
+	return g.writeChunkedLocked(wt)
+}
+
+// writeChunkedLocked runs the chunked write protocol: split, dedup, fsync
+// new chunks, then publish the manifest through the standard generation
+// sequence, then GC chunks orphaned by the rotation.
+func (g *Generations) writeChunkedLocked(wt io.WriterTo) (WriteResult, error) {
+	cs := g.chunks()
+	res := WriteResult{Chunked: true}
+	var manifest Manifest
+	payloadCRC := crc32.New(manifestCRCTable)
+
+	cw, err := chunk.NewWriter(g.CDC, func(data []byte) error {
+		if err := failpoint.Eval(failpoint.StoreChunkWrite); err != nil {
+			return fmt.Errorf("store: writing chunk: %w", err)
+		}
+		id := ChunkID(sha256.Sum256(data))
+		wrote, err := cs.write(id, data)
+		if err != nil {
+			return err
+		}
+		if wrote {
+			res.ChunksNew++
+			res.PhysicalBytes += int64(len(data))
+		} else {
+			res.ChunksReused++
+		}
+		res.Chunks++
+		res.LogicalBytes += int64(len(data))
+		payloadCRC.Write(data)
+		manifest.Chunks = append(manifest.Chunks, ManifestChunk{ID: id, Len: uint32(len(data))})
+		return nil
+	})
+	if err != nil {
+		return WriteResult{}, err
+	}
+	// The payload write failpoint wraps the splitter's input, so a
+	// PartialWrite policy still simulates a torn serialization: some
+	// chunks may land (future GC reclaims them) but no manifest ever
+	// references the truncated payload.
+	w := failpoint.Wrap(failpoint.StoreSnapshotWrite, cw)
+	if _, err := wt.WriteTo(w); err != nil {
+		return WriteResult{}, fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := cw.Flush(); err != nil {
+		return WriteResult{}, fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	manifest.PayloadLen = uint64(res.LogicalBytes)
+	manifest.PayloadCRC = payloadCRC.Sum32()
+
+	if err := failpoint.Eval(failpoint.StoreManifestWrite); err != nil {
+		return WriteResult{}, fmt.Errorf("store: writing snapshot manifest: %w", err)
+	}
+	enc := manifest.encode()
+	res.ManifestBytes = int64(len(enc))
+	res.PhysicalBytes += res.ManifestBytes
+	if _, err := g.publishLocked(func(w io.Writer) (int64, error) {
+		n, err := bytes.NewReader(enc).WriteTo(w)
+		return n, err
+	}); err != nil {
+		return WriteResult{}, err
+	}
+
+	// The rotation may have dropped the oldest generation; reclaim any
+	// chunks only it referenced. GC failure (or an armed Error policy) is
+	// advisory — the snapshot is already durable — but a Panic policy here
+	// simulates dying mid-GC for the crash matrix.
+	if err := failpoint.Eval(failpoint.StoreChunkGC); err == nil {
+		if n, b, gcErr := g.gcLocked(cs); gcErr == nil {
+			res.GCChunks, res.GCBytes = n, b
+		}
+	}
+	g.noteWrite(res)
+	return res, nil
+}
+
+// publishLocked is the shared durable-publish sequence: temp file in the
+// snapshot directory, payload via write, fsync, rotate, atomic rename,
+// directory fsync. write receives the temp file and returns the bytes it
+// wrote.
+func (g *Generations) publishLocked(write func(w io.Writer) (int64, error)) (int64, error) {
 	if err := failpoint.Eval(failpoint.StoreSnapshotCreate); err != nil {
 		return 0, fmt.Errorf("store: creating snapshot temp file: %w", err)
 	}
@@ -74,8 +267,7 @@ func (g *Generations) Write(wt io.WriterTo) (int64, error) {
 		return 0, err
 	}
 
-	w := failpoint.Wrap(failpoint.StoreSnapshotWrite, tmp)
-	n, err := wt.WriteTo(w)
+	n, err := write(tmp)
 	if err != nil {
 		return fail(fmt.Errorf("store: writing snapshot: %w", err))
 	}
@@ -132,8 +324,79 @@ func (g *Generations) Write(wt io.WriterTo) (int64, error) {
 	return n, nil
 }
 
-// Sweep removes temp files abandoned by crashed writes. It returns the
-// paths it removed.
+// gcLocked reclaims chunks unreferenced by any live generation. The live
+// set is the union of chunk IDs across every generation that parses as a
+// manifest; monolithic generations reference nothing. An unreadable or
+// corrupt manifest aborts the pass conservatively — better to keep orphans
+// than to delete a chunk a generation might still name.
+func (g *Generations) gcLocked(cs *chunkStore) (int, int64, error) {
+	live := make(map[ChunkID]struct{})
+	for _, p := range g.Paths() {
+		f, err := os.Open(p)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("store: gc: %w", err)
+		}
+		br := bufio.NewReader(f)
+		if !sniffManifest(br) {
+			f.Close()
+			continue // monolithic generation: no chunk references
+		}
+		m, merr := ReadManifest(br)
+		f.Close()
+		if merr != nil {
+			return 0, 0, fmt.Errorf("store: gc: generation %s: %w", p, merr)
+		}
+		for _, c := range m.Chunks {
+			live[c.ID] = struct{}{}
+		}
+	}
+	n, b, err := cs.gc(live)
+	if err != nil {
+		return n, b, err
+	}
+	g.stats.LastGCChunks, g.stats.LastGCBytes = int64(n), b
+	g.refreshLiveLocked(cs)
+	return n, b, nil
+}
+
+// refreshLiveLocked rescans the chunk store into the Live* stats.
+func (g *Generations) refreshLiveLocked(cs *chunkStore) {
+	var chunks, bytes int64
+	_ = cs.scan(func(_ ChunkID, size int64) {
+		chunks++
+		bytes += size
+	})
+	g.stats.LiveChunks, g.stats.LiveBytes = chunks, bytes
+}
+
+// noteWrite folds one successful write into the cumulative stats.
+func (g *Generations) noteWrite(res WriteResult) {
+	g.stats.Chunked = g.Chunked
+	g.stats.Snapshots++
+	g.stats.ChunksWritten += int64(res.ChunksNew)
+	g.stats.ChunksReused += int64(res.ChunksReused)
+	g.stats.LogicalBytes += res.LogicalBytes
+	g.stats.PhysicalBytes += res.PhysicalBytes
+	if res.Chunked {
+		g.refreshLiveLocked(g.chunks())
+	}
+}
+
+// Stats returns a copy of the store's dedup accounting.
+func (g *Generations) Stats() StoreStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.stats
+	st.Chunked = g.Chunked
+	return st
+}
+
+// Sweep removes temp files abandoned by crashed writes — both snapshot
+// temps next to the generations and chunk temps inside the chunk store. It
+// returns the paths it removed.
 func (g *Generations) Sweep() []string {
 	matches, _ := filepath.Glob(g.Path + ".tmp-*")
 	var swept []string
@@ -147,6 +410,7 @@ func (g *Generations) Sweep() []string {
 			swept = append(swept, m)
 		}
 	}
+	swept = append(swept, g.chunks().sweepTemps()...)
 	return swept
 }
 
@@ -157,6 +421,8 @@ type RecoveryInfo struct {
 	Loaded string
 	// Generation is the index of the loaded generation (0 = primary).
 	Generation int
+	// Chunked is true when the loaded generation was a chunk manifest.
+	Chunked bool
 	// Fallback is true when the primary was missing or corrupt and an
 	// older generation was used.
 	Fallback bool
@@ -167,6 +433,11 @@ type RecoveryInfo struct {
 	Errors []string
 	// Swept lists abandoned temp files removed before recovery.
 	Swept []string
+	// GCChunks / GCBytes report the post-recovery orphan sweep: chunks a
+	// crashed write published without ever renaming a manifest that
+	// references them.
+	GCChunks int
+	GCBytes  int64
 }
 
 // ErrNoSnapshot is returned by Recover when no generation exists at all —
@@ -176,10 +447,17 @@ var ErrNoSnapshot = errors.New("store: no snapshot generation found")
 // Recover sweeps abandoned temp files and then walks the generations
 // newest-first, calling load on each until one succeeds. load must return
 // an error for torn or corrupt input (core.ReadEngine's CRC validation
-// provides exactly that). The returned RecoveryInfo describes the path
-// taken; the error is non-nil only when no generation loaded.
+// provides exactly that). A generation that sniffs as a chunk manifest is
+// reassembled transparently — load sees the original payload bytes, with
+// every chunk hash-verified on the way through — so monolithic FASTSNP1
+// generations and chunked ones are interchangeable here. The returned
+// RecoveryInfo describes the path taken; the error is non-nil only when no
+// generation loaded.
 func (g *Generations) Recover(load func(path string, r io.Reader) error) (RecoveryInfo, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	info := RecoveryInfo{Generation: -1, Swept: g.Sweep()}
+	cs := g.chunks()
 	found := false
 	for i := 0; i < g.keep(); i++ {
 		p := g.genPath(i)
@@ -193,7 +471,19 @@ func (g *Generations) Recover(load func(path string, r io.Reader) error) (Recove
 			info.Errors = append(info.Errors, err.Error())
 			continue
 		}
-		lerr := load(p, f)
+		br := bufio.NewReader(f)
+		chunked := sniffManifest(br)
+		var lerr error
+		if chunked {
+			m, merr := ReadManifest(br)
+			if merr != nil {
+				lerr = merr
+			} else {
+				lerr = load(p, newManifestReader(cs, m))
+			}
+		} else {
+			lerr = load(p, br)
+		}
 		f.Close()
 		if lerr != nil {
 			info.Errors = append(info.Errors, lerr.Error())
@@ -201,7 +491,19 @@ func (g *Generations) Recover(load func(path string, r io.Reader) error) (Recove
 		}
 		info.Loaded = p
 		info.Generation = i
+		info.Chunked = chunked
 		info.Fallback = i != 0 || len(info.Errors) > 0
+		// Sweep-on-recover: a crash between chunk publish and manifest
+		// rename leaves durable but unreferenced chunks; reclaim them now
+		// that a consistent generation is loaded. Conservative: any
+		// unparseable manifest aborts the pass.
+		if g.Chunked || chunked {
+			if err := failpoint.Eval(failpoint.StoreChunkGC); err == nil {
+				if n, b, gcErr := g.gcLocked(cs); gcErr == nil {
+					info.GCChunks, info.GCBytes = n, b
+				}
+			}
+		}
 		return info, nil
 	}
 	if !found {
@@ -210,3 +512,34 @@ func (g *Generations) Recover(load func(path string, r io.Reader) error) (Recove
 	return info, fmt.Errorf("store: all %d snapshot generations failed to load: %s",
 		len(info.Tried), strings.Join(info.Errors, "; "))
 }
+
+// OpenPayload opens a snapshot file for reading, resolving a chunk
+// manifest to its reassembled payload transparently (hash-verified). A
+// monolithic file is streamed as-is. This is how tools (fastctl restore)
+// read a snapshot regardless of how it was written.
+func OpenPayload(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	if !sniffManifest(br) {
+		return &payloadReader{r: br, c: f}, nil
+	}
+	m, err := ReadManifest(br)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	cs := &chunkStore{dir: chunkDirFor(path)}
+	return &payloadReader{r: newManifestReader(cs, m), c: f}, nil
+}
+
+// payloadReader pairs a resolved payload stream with the file to close.
+type payloadReader struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (p *payloadReader) Read(b []byte) (int, error) { return p.r.Read(b) }
+func (p *payloadReader) Close() error               { return p.c.Close() }

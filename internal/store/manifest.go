@@ -1,0 +1,217 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// A chunked generation is not the snapshot payload itself but a small
+// manifest naming the content-addressed chunks that reassemble it, in
+// order. The layout (all integers little-endian):
+//
+//	magic      "FASTMAN1"                     (8 bytes)
+//	version    uint32                         (currently 1)
+//	payloadLen uint64   total reassembled payload bytes
+//	payloadCRC uint32   CRC-32C of the reassembled payload
+//	count      uint32   number of chunks
+//	entries    count × { sha256 [32]byte, length uint32 }
+//	crc        uint32   CRC-32C of every preceding byte
+//
+// The trailing CRC makes a torn or bit-flipped manifest detectable on its
+// own; the payload CRC and the per-chunk SHA-256 verification during
+// reassembly make a wrong *reference* (stale, corrupt, or truncated chunk
+// file) detectable as well, so Recover's generation walk treats a chunked
+// generation exactly like a monolithic one: load fully or fall back.
+const (
+	manifestMagic   = "FASTMAN1"
+	manifestVersion = 1
+
+	// Decode bounds. maxManifestChunks × the 2 KB chunk floor is ~8 GB of
+	// payload — far beyond any engine snapshot — while keeping a lying
+	// count field from provoking a large allocation.
+	maxManifestChunks = 1 << 22
+	maxChunkLen       = 1 << 30
+)
+
+var manifestCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadManifest wraps every manifest decode failure so callers can
+// distinguish "corrupt manifest" from I/O errors.
+var ErrBadManifest = errors.New("store: invalid snapshot manifest")
+
+// ChunkID is the SHA-256 of a chunk's content — its name in the store.
+type ChunkID [sha256.Size]byte
+
+func (id ChunkID) String() string { return hex.EncodeToString(id[:]) }
+
+// ManifestChunk is one ordered chunk reference.
+type ManifestChunk struct {
+	ID  ChunkID
+	Len uint32
+}
+
+// Manifest is the decoded form of a chunked generation file.
+type Manifest struct {
+	PayloadLen uint64
+	PayloadCRC uint32
+	Chunks     []ManifestChunk
+}
+
+// encode serializes the manifest with its trailing CRC.
+func (m *Manifest) encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(manifestMagic)
+	var u32 [4]byte
+	var u64 [8]byte
+	put32 := func(v uint32) { binary.LittleEndian.PutUint32(u32[:], v); buf.Write(u32[:]) }
+	put64 := func(v uint64) { binary.LittleEndian.PutUint64(u64[:], v); buf.Write(u64[:]) }
+	put32(manifestVersion)
+	put64(m.PayloadLen)
+	put32(m.PayloadCRC)
+	put32(uint32(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		buf.Write(c.ID[:])
+		put32(c.Len)
+	}
+	put32(crc32.Checksum(buf.Bytes(), manifestCRCTable))
+	return buf.Bytes()
+}
+
+// IsManifest reports whether the first bytes look like a chunked
+// generation. Recover uses it to sniff manifest vs. monolithic snapshot.
+func IsManifest(prefix []byte) bool {
+	return len(prefix) >= len(manifestMagic) && string(prefix[:len(manifestMagic)]) == manifestMagic
+}
+
+// ReadManifest decodes a manifest, validating structure, bounds, and the
+// trailing CRC. Every failure wraps ErrBadManifest. Allocation is bounded
+// by the input: the chunk list grows incrementally while bytes actually
+// arrive, so a forged count cannot provoke a huge up-front allocation.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	crc := crc32.New(manifestCRCTable)
+	tr := io.TeeReader(r, crc)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(tr, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadManifest, err)
+	}
+	if string(magic[:]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadManifest, magic[:])
+	}
+	var fixed [20]byte // version + payloadLen + payloadCRC + count
+	if _, err := io.ReadFull(tr, fixed[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadManifest, err)
+	}
+	version := binary.LittleEndian.Uint32(fixed[0:4])
+	if version != manifestVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadManifest, version)
+	}
+	m := &Manifest{
+		PayloadLen: binary.LittleEndian.Uint64(fixed[4:12]),
+		PayloadCRC: binary.LittleEndian.Uint32(fixed[12:16]),
+	}
+	count := binary.LittleEndian.Uint32(fixed[16:20])
+	if count > maxManifestChunks {
+		return nil, fmt.Errorf("%w: chunk count %d exceeds bound %d", ErrBadManifest, count, maxManifestChunks)
+	}
+	var total uint64
+	var ent [36]byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(tr, ent[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading chunk entry %d of %d: %v", ErrBadManifest, i, count, err)
+		}
+		var mc ManifestChunk
+		copy(mc.ID[:], ent[:32])
+		mc.Len = binary.LittleEndian.Uint32(ent[32:36])
+		if mc.Len == 0 || mc.Len > maxChunkLen {
+			return nil, fmt.Errorf("%w: chunk %d has invalid length %d", ErrBadManifest, i, mc.Len)
+		}
+		total += uint64(mc.Len)
+		m.Chunks = append(m.Chunks, mc)
+	}
+	if total != m.PayloadLen {
+		return nil, fmt.Errorf("%w: chunk lengths sum to %d, header says %d", ErrBadManifest, total, m.PayloadLen)
+	}
+	want := crc.Sum32()
+	var trail [4]byte
+	if _, err := io.ReadFull(r, trail[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading trailing CRC: %v", ErrBadManifest, err)
+	}
+	if got := binary.LittleEndian.Uint32(trail[:]); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrBadManifest, got, want)
+	}
+	// Trailing garbage after the CRC means the file is not a manifest we
+	// wrote; reject rather than silently ignore.
+	var extra [1]byte
+	if n, _ := r.Read(extra[:]); n != 0 {
+		return nil, fmt.Errorf("%w: trailing data after CRC", ErrBadManifest)
+	}
+	return m, nil
+}
+
+// manifestReader reassembles a manifest's payload by streaming its chunks
+// from the store in order, verifying each chunk's SHA-256 and length on
+// load and the whole payload's CRC at EOF. It makes a chunked generation
+// look like a plain snapshot file to load callbacks (core.ReadEngine reads
+// it unchanged).
+type manifestReader struct {
+	cs  *chunkStore
+	m   *Manifest
+	idx int    // next chunk to load
+	cur []byte // unread remainder of the current chunk
+	crc hash.Hash32
+	n   uint64
+	err error
+}
+
+func newManifestReader(cs *chunkStore, m *Manifest) *manifestReader {
+	return &manifestReader{cs: cs, m: m, crc: crc32.New(manifestCRCTable)}
+}
+
+func (r *manifestReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.cur) == 0 {
+		if r.idx >= len(r.m.Chunks) {
+			if r.n != r.m.PayloadLen {
+				r.err = fmt.Errorf("%w: reassembled %d bytes, manifest says %d", ErrBadManifest, r.n, r.m.PayloadLen)
+				return 0, r.err
+			}
+			if got := r.crc.Sum32(); got != r.m.PayloadCRC {
+				r.err = fmt.Errorf("%w: payload CRC mismatch (computed %08x, manifest %08x)", ErrBadManifest, got, r.m.PayloadCRC)
+				return 0, r.err
+			}
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		mc := r.m.Chunks[r.idx]
+		data, err := r.cs.read(mc.ID, mc.Len)
+		if err != nil {
+			r.err = fmt.Errorf("store: chunk %d/%d (%s): %w", r.idx, len(r.m.Chunks), mc.ID, err)
+			return 0, r.err
+		}
+		r.idx++
+		r.cur = data
+		r.crc.Write(data)
+		r.n += uint64(len(data))
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// sniffManifest peeks the magic from a buffered reader without consuming
+// it.
+func sniffManifest(br *bufio.Reader) bool {
+	prefix, _ := br.Peek(len(manifestMagic))
+	return IsManifest(prefix)
+}
