@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query bench-snapshot bench-gate serve fmt-check fuzz soak ci
+.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query bench-snapshot bench-cluster bench-gate serve fmt-check fuzz soak ci
 
 # Per-target budget for `make fuzz`; CI uses 60s per target.
 FUZZTIME ?= 30s
@@ -61,6 +61,15 @@ bench-query:
 bench-snapshot:
 	$(GO) run ./cmd/fastbench -exp snapshot -scale 20000
 
+# Cluster tier: 3 HTTP shards behind the fan-out router vs a single-node
+# oracle (answers must be byte-identical through the wire), degradation
+# through shard kills (partial, then quorum loss), and replica chunk-diff
+# catch-up, written to BENCH_cluster.json. The incremental catch-up must
+# move <25% of a full snapshot at ~5% churn or the run fails. Runs at
+# scale 20000 (1050 photos) so the gate is enforced.
+bench-cluster:
+	$(GO) run ./cmd/fastbench -exp cluster -scale 20000
+
 # Perf-regression gate: re-measure the query sweep into a scratch directory
 # and compare it against the committed BENCH_query.json baseline. Fails on a
 # >20% qps drop or a p99 blowup on any common worker count — the same check
@@ -88,13 +97,14 @@ fuzz:
 
 # Failpoint soak: every fault-injection suite (snapshot crash matrix,
 # chunk-store crash matrix + GC interleavings, generation rotation,
-# injected 429/503 bursts, transport faults, cuckoo exhaustion/rehash)
-# repeated under the race detector.
+# injected 429/503 bursts, transport faults, cuckoo exhaustion/rehash,
+# interrupted catch-up streams, router fan-out/merge faults) repeated
+# under the race detector.
 soak:
 	$(GO) test -race -count=3 ./internal/failpoint/
 	$(GO) test -race -count=3 -timeout=20m \
-		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport|Interleaving|Churn' \
-		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/
+		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport|Interleaving|Churn|Interrupted|Fanout|PartialAndQuorum' \
+		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/ ./internal/router/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

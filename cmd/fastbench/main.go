@@ -16,7 +16,11 @@
 // concurrent clients, compares coalesced vs naive dispatch, and writes
 // BENCH_serve.json to -artifacts; the snapshot experiment measures
 // bytes/generation of content-addressed delta snapshots against
-// monolithic rewrites at increasing churn and writes BENCH_snapshot.json.
+// monolithic rewrites at increasing churn and writes BENCH_snapshot.json;
+// the cluster experiment runs a 3-shard router + single-node oracle over
+// real HTTP, verifies routed answers byte-identical, degrades through
+// shard kills, measures replica chunk-diff catch-up, and writes
+// BENCH_cluster.json.
 //
 // For performance work, -cpuprofile and -memprofile write standard pprof
 // profiles of the selected experiments:

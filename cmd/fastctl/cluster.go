@@ -1,0 +1,224 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/store"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+// runClusterCheck implements `fastctl clustercheck`: send the same synthetic
+// probes to a cluster router and a single-node oracle holding the union
+// corpus and verify the answers are byte-identical — same IDs, same scores,
+// same order. This is the cluster's core correctness property (the merge
+// uses exactly the engine's tie-break ordering), checked here over the real
+// network stack. With -expect-partial it instead asserts that every routed
+// answer is flagged partial (the degraded-mode check the CI smoke runs
+// after killing a shard).
+func runClusterCheck(args []string) {
+	fs := flag.NewFlagSet("clustercheck", flag.ExitOnError)
+	var (
+		routerURL = fs.String("router", "http://127.0.0.1:8210", "fastrouter base URL")
+		oracleURL = fs.String("oracle", "", "single-node fastd holding the union corpus (omit to skip identity comparison)")
+		queries   = fs.Int("queries", 8, "number of probes to send")
+		topK      = fs.Int("topk", 25, "results per query")
+		photos    = fs.Int("photos", 300, "probe-generator corpus size (match the shards')")
+		scenes    = fs.Int("scenes", 10, "probe-generator scene count (match the shards')")
+		seed      = fs.Int64("seed", 1, "probe-generator seed (match the shards')")
+		expectP   = fs.Bool("expect-partial", false, "assert every routed answer is flagged partial (degraded-mode check)")
+		timeout   = fs.Duration("timeout", time.Minute, "request timeout")
+	)
+	fs.Parse(args)
+	if *oracleURL == "" && !*expectP {
+		log.Fatal("fastctl clustercheck: need -oracle (identity check) or -expect-partial (degradation check)")
+	}
+
+	ds, err := workload.Generate(workload.Spec{
+		Name:        "fastd",
+		Scenes:      *scenes,
+		Photos:      *photos,
+		Subjects:    4,
+		SubjectRate: 0.2,
+		Resolution:  64,
+		Seed:        *seed,
+		SceneBase:   6000,
+	})
+	if err != nil {
+		log.Fatalf("fastctl clustercheck: generating probes: %v", err)
+	}
+	qs, err := ds.Queries(*queries, *seed+100)
+	if err != nil {
+		log.Fatalf("fastctl clustercheck: %v", err)
+	}
+
+	rc := adminClient(*routerURL, *timeout)
+	ctx := context.Background()
+	var oc = rc
+	if *oracleURL != "" {
+		oc = adminClient(*oracleURL, *timeout)
+	}
+
+	hits, partials := 0, 0
+	for qi, q := range qs {
+		got, partial, err := rc.QueryDetailed(ctx, q.Probe, *topK)
+		if err != nil {
+			log.Fatalf("fastctl clustercheck: query %d via router: %v", qi+1, err)
+		}
+		hits += len(got)
+		if partial {
+			partials++
+		}
+		if *expectP {
+			if !partial {
+				log.Fatalf("fastctl clustercheck: query %d was not flagged partial with a shard down", qi+1)
+			}
+			continue
+		}
+		want, err := oc.Query(ctx, q.Probe, *topK)
+		if err != nil {
+			log.Fatalf("fastctl clustercheck: query %d via oracle: %v", qi+1, err)
+		}
+		if partial {
+			log.Fatalf("fastctl clustercheck: query %d was flagged partial with all shards up", qi+1)
+		}
+		if err := identical(got, want); err != nil {
+			log.Fatalf("fastctl clustercheck: query %d: routed answer differs from oracle: %v", qi+1, err)
+		}
+	}
+	if hits == 0 {
+		log.Fatal("fastctl clustercheck: no query returned any results")
+	}
+	if *expectP {
+		fmt.Printf("clustercheck: %d queries degraded gracefully (all flagged partial, %d total results)\n",
+			len(qs), hits)
+		return
+	}
+	fmt.Printf("clustercheck: %d queries byte-identical between %s and %s (%d total results)\n",
+		len(qs), *routerURL, *oracleURL, hits)
+}
+
+// identical compares two result lists for exact equality: length, IDs,
+// bit-exact scores, order.
+func identical(got, want []core.SearchResult) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d results, oracle has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("rank %d: got {%d %.17g}, oracle {%d %.17g}",
+				i+1, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+	return nil
+}
+
+// runInsert implements `fastctl insert`: generate fresh synthetic photos
+// (new IDs, not part of any bootstrap corpus) and insert them into a
+// running daemon. The CI cluster smoke uses it to churn a primary between
+// two catch-ups, so the second transfer has a real diff to ship.
+func runInsert(args []string) {
+	fs := flag.NewFlagSet("insert", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8093", "fastd base URL")
+		count     = fs.Int("count", 5, "photos to insert")
+		startID   = fs.Uint64("start-id", 900_000, "first photo ID (IDs are sequential from here)")
+		photos    = fs.Int("photos", 300, "photo-generator corpus size (match the daemon's)")
+		scenes    = fs.Int("scenes", 10, "photo-generator scene count (match the daemon's)")
+		seed      = fs.Int64("seed", 1, "photo-generator seed (match the daemon's)")
+		timeout   = fs.Duration("timeout", time.Minute, "request timeout")
+	)
+	fs.Parse(args)
+	ds, err := workload.Generate(workload.Spec{
+		Name:        "fastd",
+		Scenes:      *scenes,
+		Photos:      *photos,
+		Subjects:    4,
+		SubjectRate: 0.2,
+		Resolution:  64,
+		Seed:        *seed,
+		SceneBase:   6000,
+	})
+	if err != nil {
+		log.Fatalf("fastctl insert: generating photos: %v", err)
+	}
+	c := adminClient(*serverURL, *timeout)
+	ctx := context.Background()
+	for i := 0; i < *count; i++ {
+		p := ds.FreshPhoto(*startID+uint64(i), *seed+200+int64(i))
+		if err := c.Insert(ctx, p.ID, p.Img); err != nil {
+			log.Fatalf("fastctl insert: photo %d: %v", p.ID, err)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("fastctl insert: %v", err)
+	}
+	fmt.Printf("insert: %d photos (IDs %d..%d) -> %s now serves %d photos\n",
+		*count, *startID, *startID+uint64(*count)-1, *serverURL, st.Photos)
+}
+
+// runCatchUp implements `fastctl catchup`: synchronize a local generation
+// store with a daemon's newest persisted snapshot over the chunk-diff
+// protocol, then verify the result reloads to the daemon's photo count.
+// Transfer is proportional to the chunk diff: a cold store pulls
+// everything, a warm one only what changed. With -expect-reuse the command
+// fails unless the transfer actually skipped already-held chunks — the CI
+// smoke uses it to prove a second catch-up is a diff, not a re-download.
+func runCatchUp(args []string) {
+	fs := flag.NewFlagSet("catchup", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8093", "fastd base URL (must run with -final-snapshot and chunked snapshots)")
+		out       = fs.String("out", "replica.fast", "local replica generation store path")
+		keep      = fs.Int("keep", 2, "generations to keep locally")
+		save      = fs.Bool("save", false, "ask the daemon to persist a fresh snapshot first (POST /v1/snapshot/save)")
+		expReuse  = fs.Bool("expect-reuse", false, "fail unless the transfer reused locally held chunks (diff, not full download)")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "request timeout")
+	)
+	fs.Parse(args)
+	c := adminClient(*serverURL, *timeout)
+	ctx := context.Background()
+
+	if *save {
+		if _, err := c.SnapshotSave(ctx); err != nil {
+			log.Fatalf("fastctl catchup: snapshot save: %v", err)
+		}
+	}
+	g := &store.Generations{Path: *out, Keep: *keep, Chunked: true}
+	t0 := time.Now()
+	res, err := c.CatchUp(ctx, g)
+	if err != nil {
+		log.Fatalf("fastctl catchup: %v", err)
+	}
+	elapsed := time.Since(t0).Round(time.Millisecond)
+
+	// Verify the caught-up generation reloads to the daemon's photo count.
+	r, err := store.OpenPayload(*out)
+	if err != nil {
+		log.Fatalf("fastctl catchup: %v", err)
+	}
+	eng, err := core.ReadEngine(r)
+	r.Close()
+	if err != nil {
+		log.Fatalf("fastctl catchup: caught-up snapshot does not reload: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("fastctl catchup: %s stopped answering: %v", *serverURL, err)
+	}
+	if eng.Len() != st.Photos {
+		log.Fatalf("fastctl catchup: replica reloads to %d photos, daemon reports %d", eng.Len(), st.Photos)
+	}
+	if *expReuse && (res.ChunksReused == 0 || res.ChunksFetched >= res.Chunks) {
+		log.Fatalf("fastctl catchup: expected a chunk-diff transfer, got full: fetched %d of %d chunks (reused %d)",
+			res.ChunksFetched, res.Chunks, res.ChunksReused)
+	}
+	transferred := res.BytesFetched + res.ManifestBytes
+	fmt.Printf("catchup: %d photos; fetched %d of %d chunks (%d reused), %d bytes over the wire for a %d-byte payload (%.1f%%) -> %s (verified reload) in %v\n",
+		eng.Len(), res.ChunksFetched, res.Chunks, res.ChunksReused,
+		transferred, res.PayloadBytes, 100*float64(transferred)/float64(res.PayloadBytes), *out, elapsed)
+}

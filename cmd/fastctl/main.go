@@ -10,6 +10,19 @@
 //	fastctl query    -server http://127.0.0.1:8093 -queries 5
 //	fastctl snapshot -server http://127.0.0.1:8093 -out index.fast
 //	fastctl restore  -server http://127.0.0.1:8093 -in index.fast
+//	fastctl insert   -server http://127.0.0.1:8093 -count 5
+//
+// and checks a cluster deployment (fastrouter + sharded fastd):
+//
+//	fastctl clustercheck -router http://127.0.0.1:8210 -oracle http://127.0.0.1:8200
+//	fastctl catchup      -server http://127.0.0.1:8093 -out replica.fast
+//
+// clustercheck verifies routed answers byte-identical to a single-node
+// oracle (or, with -expect-partial, that a degraded cluster flags its
+// answers); catchup synchronizes a local generation store with the
+// daemon's newest snapshot over the chunk-diff protocol, transferring only
+// missing chunks; insert pushes freshly generated photos into a running
+// daemon (churn for catch-up demos and smoke tests).
 //
 // query sends synthetic probes over the wire (regenerate the daemon's
 // corpus parameters with -photos/-scenes/-seed to probe for real matches);
@@ -52,6 +65,15 @@ func main() {
 			return
 		case "restore":
 			runRestore(os.Args[2:])
+			return
+		case "clustercheck":
+			runClusterCheck(os.Args[2:])
+			return
+		case "catchup":
+			runCatchUp(os.Args[2:])
+			return
+		case "insert":
+			runInsert(os.Args[2:])
 			return
 		}
 	}

@@ -39,7 +39,9 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/fastrepro/fast/internal/chunk"
 	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/placement"
 	"github.com/fastrepro/fast/internal/server"
 	"github.com/fastrepro/fast/internal/store"
 	"github.com/fastrepro/fast/internal/workload"
@@ -54,6 +56,7 @@ func main() {
 		finalSnap   = flag.String("final-snapshot", "", "write the index here during graceful shutdown (rotating generations)")
 		generations = flag.Int("snapshot-generations", 2, "snapshot generations to keep (primary + fallbacks)")
 		chunked     = flag.Bool("snapshot-chunked", true, "write snapshots as content-addressed chunk manifests (dedup across generations)")
+		chunkAvg    = flag.Int("snapshot-chunk-avg", 0, "target chunk size in bytes for chunked snapshots, a power of two (0 = production default 64KB; lower it so small indexes still split into enough chunks to diff)")
 		photos      = flag.Int("photos", 300, "synthetic bootstrap corpus size (ignored with -snapshot)")
 		scenes      = flag.Int("scenes", 10, "synthetic bootstrap scene count (ignored with -snapshot)")
 		seed        = flag.Int64("seed", 1, "synthetic bootstrap generator seed")
@@ -65,12 +68,57 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		sumCache    = flag.Int("summary-cache", 4096, "probe-summary cache entries (0 disables the tier)")
 		resCache    = flag.Int("result-cache", 8192, "ranked-result cache entries (0 disables the tier)")
+		shardIndex  = flag.Int("shard-index", -1, "cluster shard mode: serve only the photos the placement ring assigns this shard (-1 = single node)")
+		shardCount  = flag.Int("shard-count", 0, "cluster shard mode: total shard count (required with -shard-index)")
+		vnodes      = flag.Int("placement-vnodes", placement.DefaultVNodes, "placement ring virtual nodes per shard (must match the router's)")
+		placeSeed   = flag.Uint64("placement-seed", 0, "placement ring hash seed (must match the router's)")
+		groupExpand = flag.Int("group-expand", 0, "engine group expansion for synthetic bootstraps (0 = engine default, negative disables; forced off in shard mode)")
 	)
 	flag.Parse()
 
-	eng, recovery, err := bootstrap(*snapshot, *generations, *photos, *scenes, *seed)
+	shardMode := *shardIndex >= 0
+	if shardMode && (*shardCount < 1 || *shardIndex >= *shardCount) {
+		log.Fatalf("-shard-index %d needs -shard-count > shard-index", *shardIndex)
+	}
+	// Group expansion re-queries the index with stored summaries of the top
+	// hits. Across shards that walk would cross shard boundaries — each
+	// shard only holds its own photos — so routed answers could never be
+	// byte-identical to a single node. Shard mode therefore forces it off.
+	if shardMode && *groupExpand >= 0 {
+		if *groupExpand > 0 {
+			log.Printf("shard mode: overriding -group-expand %d to disabled (expansion crosses shard boundaries)", *groupExpand)
+		}
+		*groupExpand = -1
+	}
+
+	eng, recovery, err := bootstrap(*snapshot, *generations, *photos, *scenes, *seed, *groupExpand)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if shardMode {
+		ring, err := placement.New(placement.Config{Shards: *shardCount, VNodes: *vnodes, Seed: *placeSeed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if eng.GroupExpand() > 0 {
+			log.Printf("warning: snapshot-loaded engine has group expansion enabled; sharded answers will not be byte-identical to a single node")
+		}
+		// Subset the bootstrapped corpus down to this shard's ownership.
+		// Dropping non-owned photos from a common corpus (instead of
+		// building an independent index per shard) keeps the trained PCA
+		// basis — and therefore every score — identical across shards.
+		dropped := 0
+		for _, id := range eng.IDs() {
+			if ring.Owner(id) != *shardIndex {
+				if err := eng.Delete(id); err != nil {
+					log.Fatalf("shard subset: deleting %d: %v", id, err)
+				}
+				dropped++
+			}
+		}
+		log.Printf("shard %d/%d: owns %d photos (dropped %d non-owned, ring fingerprint %016x)",
+			*shardIndex, *shardCount, eng.Len(), dropped, ring.Fingerprint())
 	}
 	// Cache tiers are serving-side configuration, not index contents, so they
 	// are applied here rather than persisted in snapshots; /v1/restore carries
@@ -82,7 +130,13 @@ func main() {
 	// each other's chunks.
 	var snaps *store.Generations
 	if *finalSnap != "" {
-		snaps = &store.Generations{Path: *finalSnap, Keep: *generations, Chunked: *chunked}
+		var cdc chunk.Config
+		if *chunkAvg > 0 {
+			// Scale the whole geometry around the requested average (min at
+			// avg/8, max at 8×avg — the spread the benchmark suite uses).
+			cdc = chunk.Config{MinSize: *chunkAvg / 8, AvgSize: *chunkAvg, MaxSize: *chunkAvg * 8}
+		}
+		snaps = &store.Generations{Path: *finalSnap, Keep: *generations, Chunked: *chunked, CDC: cdc}
 	}
 
 	srv, err := server.New(server.Config{
@@ -158,7 +212,7 @@ func main() {
 // primary is torn or corrupt), or builds one over a synthetic corpus when
 // no snapshot is given. The returned RecoveryInfo is nil for synthetic
 // bootstraps.
-func bootstrap(snapshot string, generations, photos, scenes int, seed int64) (*core.Engine, *store.RecoveryInfo, error) {
+func bootstrap(snapshot string, generations, photos, scenes int, seed int64, groupExpand int) (*core.Engine, *store.RecoveryInfo, error) {
 	if snapshot != "" {
 		g := &store.Generations{Path: snapshot, Keep: generations}
 		var eng *core.Engine
@@ -198,7 +252,7 @@ func bootstrap(snapshot string, generations, photos, scenes int, seed int64) (*c
 	if err != nil {
 		return nil, nil, fmt.Errorf("generating bootstrap corpus: %w", err)
 	}
-	eng := core.NewEngine(core.Config{})
+	eng := core.NewEngine(core.Config{GroupExpand: groupExpand})
 	t0 := time.Now()
 	if _, err := eng.Build(ds.Photos); err != nil {
 		return nil, nil, fmt.Errorf("building bootstrap index: %w", err)

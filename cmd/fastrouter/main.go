@@ -1,0 +1,88 @@
+// Command fastrouter is the stateless front tier of a FAST cluster: it
+// holds no index, only a placement ring and a client per fastd shard.
+// Queries fan out to every shard and merge with the engine's exact result
+// ordering (byte-identical to a single node over the union corpus);
+// inserts and deletes are routed to the one shard the ring assigns the
+// photo ID.
+//
+//	fastrouter -addr :8210 \
+//	  -shards http://127.0.0.1:8201,http://127.0.0.1:8202,http://127.0.0.1:8203
+//
+// The -placement-* flags must match the ones the shards were started with
+// (fastd -shard-index/-shard-count): the ring is a pure function of
+// (shards, vnodes, seed), so agreement on the flags is agreement on
+// placement, verifiable by comparing ring_fingerprint in /v1/stats.
+//
+// Failure semantics: a query that loses a minority of shards answers from
+// the rest with "partial": true in the response; losing a majority is a
+// 503. /healthz reflects the same quorum rule, so a load balancer fails
+// the router only when the cluster behind it is actually down.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/fastrepro/fast/internal/client"
+	"github.com/fastrepro/fast/internal/placement"
+	"github.com/fastrepro/fast/internal/router"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fastrouter: ")
+	var (
+		addr         = flag.String("addr", ":8210", "listen address")
+		shards       = flag.String("shards", "", "comma-separated shard base URLs, in shard-index order (required)")
+		vnodes       = flag.Int("placement-vnodes", placement.DefaultVNodes, "virtual nodes per shard on the placement ring")
+		seed         = flag.Uint64("placement-seed", 0, "placement ring hash seed (must match the shards')")
+		epoch        = flag.Uint64("placement-epoch", 0, "placement ring epoch (versioning for rolling topology changes)")
+		shardTimeout = flag.Duration("shard-timeout", 2*time.Second, "per-shard call timeout")
+		topKLimit    = flag.Int("topk-limit", 0, "per-query result budget cap (0 = serving default)")
+	)
+	flag.Parse()
+
+	urls := strings.Split(*shards, ",")
+	backends := make([]router.Backend, 0, len(urls))
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		// One quick retry on backpressure; the router's own degradation
+		// logic, not the client's backoff, is the failure handler here.
+		backends = append(backends, client.New(u, client.WithRetries(1, 50*time.Millisecond)))
+	}
+	if len(backends) == 0 {
+		log.Fatal("need -shards: comma-separated shard base URLs")
+	}
+
+	ring, err := placement.New(placement.Config{
+		Shards: len(backends),
+		VNodes: *vnodes,
+		Seed:   *seed,
+		Epoch:  *epoch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := router.New(router.Config{
+		Shards:       backends,
+		Ring:         ring,
+		ShardTimeout: *shardTimeout,
+		TopKLimit:    *topKLimit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("routing %d shards on %s (ring fingerprint %016x, %d vnodes/shard, shard timeout %v)",
+		len(backends), *addr, ring.Fingerprint(), *vnodes, *shardTimeout)
+	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

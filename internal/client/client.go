@@ -177,25 +177,11 @@ func marshalJSON(v interface{}) ([]byte, error) {
 	return b, nil
 }
 
-// Query runs one probe image and returns the ranked hits.
+// Query runs one probe image and returns the ranked hits. Use
+// QueryDetailed to also observe a cluster router's partial-result flag.
 func (c *Client) Query(ctx context.Context, img *simimg.Image, topK int) ([]core.SearchResult, error) {
-	wi, err := server.EncodeImage(img)
-	if err != nil {
-		return nil, err
-	}
-	payload, err := marshalJSON(server.QueryRequest{Image: wi, TopK: topK})
-	if err != nil {
-		return nil, err
-	}
-	var out server.QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/query", payload, "application/json", &out); err != nil {
-		return nil, err
-	}
-	results := make([]core.SearchResult, len(out.Results))
-	for i, r := range out.Results {
-		results[i] = core.SearchResult{ID: r.ID, Score: r.Score}
-	}
-	return results, nil
+	results, _, err := c.QueryDetailed(ctx, img, topK)
+	return results, err
 }
 
 // Insert indexes one photo under the given ID.

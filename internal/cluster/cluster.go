@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/fastrepro/fast/internal/placement"
 	"github.com/fastrepro/fast/internal/store"
 )
 
@@ -23,6 +24,12 @@ type Config struct {
 	CoresPerNode int // cores per node; 0 means 32 (paper)
 	Net          store.NetworkModel
 	Disk         store.DiskModel
+	// PlacementVNodes / PlacementSeed parameterize the consistent-hash
+	// ring keys are routed by (internal/placement — the same ring the real
+	// router and shards use, so simulated and real placement cannot
+	// drift). Zero values take the placement defaults.
+	PlacementVNodes int
+	PlacementSeed   uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +60,7 @@ type Node struct {
 type Cluster struct {
 	cfg   Config
 	nodes []*Node
+	ring  *placement.Ring
 	down  map[int]bool // failure injection; see failure.go
 }
 
@@ -62,7 +70,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Nodes < 1 || cfg.CoresPerNode < 1 {
 		return nil, fmt.Errorf("cluster: invalid config %+v", cfg)
 	}
-	c := &Cluster{cfg: cfg}
+	ring, err := placement.New(placement.Config{
+		Shards: cfg.Nodes,
+		VNodes: cfg.PlacementVNodes,
+		Seed:   cfg.PlacementSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c := &Cluster{cfg: cfg, ring: ring}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, &Node{ID: i, cores: make([]time.Duration, cfg.CoresPerNode)})
 	}
@@ -111,14 +127,16 @@ func (c *Cluster) Submit(node int, arrival, service time.Duration) (time.Duratio
 }
 
 // Route maps an item key to its owning node (the dataset is "randomly
-// distributed among the nodes" in the paper; we use a fixed hash).
+// distributed among the nodes" in the paper). Routing delegates to the
+// shared consistent-hash ring so the simulator exercises exactly the
+// placement the real router and shards use.
 func (c *Cluster) Route(key uint64) int {
-	x := key
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	return int(x % uint64(len(c.nodes)))
+	return c.ring.Owner(key)
 }
+
+// Ring exposes the cluster's placement ring, so harnesses can assert the
+// simulated assignment matches a real tier built from the same config.
+func (c *Cluster) Ring() *placement.Ring { return c.ring }
 
 // Broadcast schedules the same service on every node at the given arrival
 // and returns the time the slowest node finishes plus one network round

@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -310,6 +311,26 @@ func (e *Engine) Len() int {
 	defer e.mu.RUnlock()
 	return len(e.byID)
 }
+
+// IDs returns the live photo IDs in ascending order. The cluster tier uses
+// it to subset a union-built engine down to one shard's owned photos (and
+// the placement diagnostics to measure ring balance over a real corpus).
+func (e *Engine) IDs() []uint64 {
+	e.mu.RLock()
+	ids := make([]uint64, 0, len(e.byID))
+	for id := range e.byID {
+		ids = append(ids, id)
+	}
+	e.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// GroupExpand reports the effective group-expansion setting (negative
+// means disabled). Shard-mode serving checks it: expansion re-queries the
+// index with stored summaries of the top hits, which crosses shard
+// boundaries and would break the router's byte-identity guarantee.
+func (e *Engine) GroupExpand() int { return e.cfg.GroupExpand }
 
 // Summarize runs FE+SM on an image without touching the index; it is used
 // by Query and exposed for the smartphone-side client. It reads the

@@ -129,11 +129,15 @@ func (e *Engine) searchView(probeSparse *bloom.Sparse, topK, workers int) ([]Sea
 	sc := viewScratchPool.Get().(*viewScratch)
 	putScratch := func() { viewScratchPool.Put(sc) }
 
-	ids, err := v.index.AppendQuery(sc.ids[:0], sc.seen, probeSparse.Bits)
-	sc.ids = ids
+	// The dedup map must exist before the call: AppendQuery allocates its
+	// own map when handed nil and never returns it, so a nil map here would
+	// mean a fresh allocation on every query — exactly the per-query
+	// candidate-collection cost the scratch pool exists to recycle.
 	if sc.seen == nil {
 		sc.seen = make(map[lsh.ItemID]struct{})
 	}
+	ids, err := v.index.AppendQuery(sc.ids[:0], sc.seen, probeSparse.Bits)
+	sc.ids = ids
 	if err != nil {
 		putScratch()
 		return nil, v.epoch, err
@@ -247,11 +251,11 @@ func (e *Engine) searchView(probeSparse *bloom.Sparse, topK, workers int) ([]Sea
 			if rep.summary == nil || len(rep.summary.Bits) == 0 {
 				continue
 			}
-			gids, err := v.index.AppendQuery(sc.gids[:0], sc.gseen, rep.summary.Bits)
-			sc.gids = gids
 			if sc.gseen == nil {
 				sc.gseen = make(map[lsh.ItemID]struct{})
 			}
+			gids, err := v.index.AppendQuery(sc.gids[:0], sc.gseen, rep.summary.Bits)
+			sc.gids = gids
 			if err != nil {
 				continue
 			}

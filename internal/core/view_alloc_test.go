@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fastrepro/fast/internal/bloom"
+)
+
+// TestSearchViewSteadyStateAllocations pins the effect of the query-scratch
+// pool on the candidate-collection path: once the pool is warm, a query's
+// search back half (searchView via QuerySummary) must not re-allocate the
+// candidate dedup map, the candidate slice, the packed probe words, or the
+// scoring slice. Steady state is the result copy handed to the caller plus
+// low single-digit incidental allocations; the regression this guards
+// against — handing AppendQuery a nil seen map so it silently allocates a
+// fresh one per query — adds a map header plus buckets on every run.
+func TestSearchViewSteadyStateAllocations(t *testing.T) {
+	ds := testDatasetCached(t)
+	e := builtEngine(t, ds)
+	e.ConfigureCache(0, 0) // measure the search path, not the cache
+
+	qs, err := ds.Queries(1, 77)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	filter, err := e.Summarize(qs[0].Probe)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	ps := bloom.ToSparse(filter)
+
+	// Warm the scratch pool and confirm the probe actually finds work (an
+	// empty candidate set would make the measurement vacuous).
+	warm, err := e.QuerySummary(ps, 40, 1)
+	if err != nil {
+		t.Fatalf("QuerySummary: %v", err)
+	}
+	if len(warm) == 0 {
+		t.Fatal("probe returned no candidates; allocation measurement is vacuous")
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := e.QuerySummary(ps, 40, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Observed steady state is ~1 alloc (the caller-owned result copy).
+	// The bound leaves room for runtime noise but is far below the +2..3
+	// allocs/query a per-query candidate map costs.
+	if avg > 3 {
+		t.Errorf("QuerySummary steady state allocates %.1f/run; candidate scratch is not being pooled", avg)
+	}
+}

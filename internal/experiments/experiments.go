@@ -203,6 +203,7 @@ func All() []Experiment {
 		{"ingest", "Throughput: staged parallel ingest pipeline (InsertBatch)", RunIngest},
 		{"serve", "Serving: coalesced network queries vs naive goroutine-per-request", RunServe},
 		{"snapshot", "Snapshot: content-addressed delta generations vs monolithic rewrites", RunSnapshot},
+		{"cluster", "Cluster: sharded fan-out identity, degradation, replica chunk-diff catch-up", RunCluster},
 		{"fig8a", "Figure 8a: network transmission overhead", RunFig8a},
 		{"fig8b", "Figure 8b: smartphone energy consumption", RunFig8b},
 		{"ablation", "Ablations: design-choice sweeps", RunAblation},

@@ -22,8 +22,8 @@ func tinyEnv() (*Env, *bytes.Buffer) {
 
 func TestAllRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
 	}
 	for _, ex := range all {
 		got, err := ByID(ex.ID)
@@ -364,5 +364,43 @@ func TestRunSnapshot(t *testing.T) {
 		if row.ChurnPct == 0 && row.DedupRatio < 5 {
 			t.Errorf("0%% churn dedup ratio %.1f — chunk reuse broken", row.DedupRatio)
 		}
+	}
+}
+
+func TestRunCluster(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	e := NewEnv(Options{Scale: 300000, Queries: 2, Seed: 3, Out: &buf, ArtifactDir: dir})
+	if err := RunCluster(e); err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"byte-identical", "partial", "quorum lost", "catch-up"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_cluster.json"))
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var report clusterReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if !report.IdentityExact || !report.PartialVerified || !report.QuorumVerified {
+		t.Fatalf("gates not verified: %+v", report)
+	}
+	if report.Shards != clusterShards || report.Corpus == 0 || report.IdentityQueries == 0 {
+		t.Fatalf("artifact content: %+v", report)
+	}
+	if report.ColdTransferBytes <= 0 || report.DeltaTransferBytes <= 0 {
+		t.Fatalf("transfer accounting missing: %+v", report)
+	}
+	// Even on a tiny corpus the incremental catch-up must move fewer bytes
+	// than the cold one — the diff property, independent of the 25% gate.
+	if report.DeltaTransferBytes >= report.ColdTransferBytes {
+		t.Errorf("incremental catch-up (%d bytes) not cheaper than cold (%d bytes)",
+			report.DeltaTransferBytes, report.ColdTransferBytes)
 	}
 }

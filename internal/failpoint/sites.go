@@ -40,6 +40,21 @@ const (
 	StoreManifestWrite = "store/manifest-write"
 	StoreChunkGC       = "store/chunk-gc"
 
+	// Replica catch-up over the chunk store (internal/store). chunk-fetch
+	// fires before each missing chunk is consumed from a delta stream on
+	// the replica side: an Error policy aborts the transfer mid-stream
+	// (the chunks already landed stay durable, so the resumed catch-up is
+	// diff-only), a Delay policy simulates a slow primary.
+	StoreChunkFetch = "store/chunk-fetch"
+
+	// Query router (internal/router). fanout fires once per shard before
+	// the sub-query is issued — Error marks that shard failed (driving the
+	// partial-result path deterministically), Delay simulates a slow shard
+	// inside the per-shard timeout. merge fires before per-shard answers
+	// are merged; Error fails the whole query after fan-out.
+	RouterFanout = "router/fanout"
+	RouterMerge  = "router/merge"
+
 	// Serving layer (internal/server). The dispatch sites run at the top
 	// of the coalesced batch dispatchers: Delay simulates a slow engine,
 	// Error fails the whole batch, Panic exercises the dispatcher's

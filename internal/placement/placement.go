@@ -1,0 +1,220 @@
+// Package placement is the single source of truth for which shard owns
+// which photo ID in a multi-node FAST cluster: a consistent-hash ring over
+// the 64-bit photo-ID space. The router (cmd/fastrouter), the shards
+// (fastd -shard-index/-shard-count), the cluster simulator
+// (internal/cluster) and the benchmark harness all build their rings
+// through this package, so placement decisions cannot drift between the
+// simulated and the real tier.
+//
+// Design:
+//
+//   - Every shard projects VNodes virtual points onto the ring. A key is
+//     owned by the shard whose point is the first at or clockwise after
+//     the key's hash. Virtual nodes smooth the load imbalance inherent in
+//     random arc lengths (the classic consistent-hashing construction).
+//   - All hashing is seeded and deterministic (splitmix64 finalizers over
+//     the configured Seed), with no dependence on map iteration, process
+//     identity, or time: two processes given the same Config agree on
+//     every owner, which is what makes scatter-gather answers mergeable
+//     and placement-routed writes safe.
+//   - Rings are versioned: Config.Epoch names the placement generation.
+//     Fingerprint folds the epoch, the geometry, and every ring point into
+//     one value, so a router and a shard can cheaply verify they are
+//     talking about the same placement before trusting each other's
+//     routing decisions.
+//   - Reconfiguration is minimal-movement by construction: adding a shard
+//     adds only that shard's points, so roughly 1/(n+1) of the key space
+//     changes owner and everything else stays put. The movement bound is
+//     asserted in the package tests.
+package placement
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per shard when Config.VNodes is
+// zero. 64 points per shard keeps the expected per-shard load within a few
+// percent of uniform at small cluster sizes while the ring stays tiny
+// (3 shards × 64 points = 192 entries).
+const DefaultVNodes = 64
+
+// maxVNodes bounds the ring size against misconfiguration.
+const maxVNodes = 1 << 16
+
+// Config describes one placement generation. Router and shards must be
+// constructed from identical configs; Fingerprint verifies that.
+type Config struct {
+	// Shards is the number of shards on the ring; required, ≥ 1.
+	Shards int
+	// VNodes is the virtual-node count per shard; 0 means DefaultVNodes.
+	VNodes int
+	// Seed seeds every ring hash. Different seeds give statistically
+	// independent placements.
+	Seed uint64
+	// Epoch versions the placement; bump it on any reconfiguration so
+	// stale rings are detectable by fingerprint.
+	Epoch uint64
+}
+
+// point is one virtual node: a position on the ring and the shard it maps
+// to. Ties on hash (astronomically unlikely but cheap to handle) break by
+// (shard, vnode) so ordering is a strict total order.
+type point struct {
+	hash  uint64
+	shard int32
+	vnode int32
+}
+
+// Ring is an immutable consistent-hash ring. Safe for concurrent use.
+type Ring struct {
+	cfg    Config
+	points []point
+	fp     uint64
+}
+
+// New builds the ring for cfg.
+func New(cfg Config) (*Ring, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("placement: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.VNodes == 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.VNodes < 1 || cfg.VNodes > maxVNodes {
+		return nil, fmt.Errorf("placement: vnodes %d out of range [1, %d]", cfg.VNodes, maxVNodes)
+	}
+	r := &Ring{cfg: cfg}
+	r.points = make([]point, 0, cfg.Shards*cfg.VNodes)
+	for s := 0; s < cfg.Shards; s++ {
+		for v := 0; v < cfg.VNodes; v++ {
+			r.points = append(r.points, point{
+				hash:  pointHash(cfg.Seed, s, v),
+				shard: int32(s),
+				vnode: int32(v),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.vnode < b.vnode
+	})
+	r.fp = r.fingerprint()
+	return r, nil
+}
+
+// Config returns the ring's effective configuration (VNodes defaulted).
+func (r *Ring) Config() Config { return r.cfg }
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.cfg.Shards }
+
+// Epoch returns the placement generation this ring materializes.
+func (r *Ring) Epoch() uint64 { return r.cfg.Epoch }
+
+// Owner returns the shard owning the given photo ID.
+func (r *Ring) Owner(id uint64) int {
+	return int(r.points[r.successor(keyHash(r.cfg.Seed, id))].shard)
+}
+
+// Owners returns up to n distinct shards for the ID in ring order: the
+// owner first, then the replica successors (the shards whose points follow
+// clockwise). n beyond the shard count is clamped. This is the replica
+// placement policy future read-scaling builds on; today callers use
+// Owners(id, 1) via Owner.
+func (r *Ring) Owners(id uint64, n int) []int {
+	if n < 1 {
+		return nil
+	}
+	if n > r.cfg.Shards {
+		n = r.cfg.Shards
+	}
+	out := make([]int, 0, n)
+	seen := make(map[int32]struct{}, n)
+	idx := r.successor(keyHash(r.cfg.Seed, id))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if _, dup := seen[p.shard]; dup {
+			continue
+		}
+		seen[p.shard] = struct{}{}
+		out = append(out, int(p.shard))
+	}
+	return out
+}
+
+// successor returns the index of the first point at or clockwise after h.
+func (r *Ring) successor(h uint64) int {
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		idx = 0 // wrap past the last point to the ring start
+	}
+	return idx
+}
+
+// Fingerprint is a deterministic digest of the entire placement: epoch,
+// geometry, seed, and every ring point. Two rings agree on every Owner
+// answer if (practically: exactly when) their fingerprints match; router
+// and shards compare fingerprints to detect configuration drift.
+func (r *Ring) Fingerprint() uint64 { return r.fp }
+
+func (r *Ring) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(r.cfg.Epoch)
+	mix(uint64(r.cfg.Shards))
+	mix(uint64(r.cfg.VNodes))
+	mix(r.cfg.Seed)
+	for _, p := range r.points {
+		mix(p.hash)
+		mix(uint64(p.shard)<<32 | uint64(uint32(p.vnode)))
+	}
+	return h
+}
+
+// Spread counts how many of the given IDs each shard owns — the load
+// balance diagnostic the benchmark report includes.
+func (r *Ring) Spread(ids []uint64) []int {
+	counts := make([]int, r.cfg.Shards)
+	for _, id := range ids {
+		counts[r.Owner(id)]++
+	}
+	return counts
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pointHash positions virtual node (shard, vnode) on the seeded ring.
+func pointHash(seed uint64, shard, vnode int) uint64 {
+	h := mix64(seed + 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (uint64(shard)+1)*0xbf58476d1ce4e5b9)
+	return mix64(h ^ (uint64(vnode)+1)*0x94d049bb133111eb)
+}
+
+// keyHash positions a photo ID on the seeded ring.
+func keyHash(seed uint64, id uint64) uint64 {
+	return mix64(mix64(seed+0x9e3779b97f4a7c15) ^ mix64(id+0x632be59bd9b4e019))
+}

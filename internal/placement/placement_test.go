@@ -1,0 +1,151 @@
+package placement
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Shards: 0}); err == nil {
+		t.Error("zero shards should fail")
+	}
+	if _, err := New(Config{Shards: -3}); err == nil {
+		t.Error("negative shards should fail")
+	}
+	if _, err := New(Config{Shards: 2, VNodes: -1}); err == nil {
+		t.Error("negative vnodes should fail")
+	}
+	if _, err := New(Config{Shards: 2, VNodes: maxVNodes + 1}); err == nil {
+		t.Error("oversized vnodes should fail")
+	}
+	r, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if r.Config().VNodes != DefaultVNodes {
+		t.Errorf("VNodes defaulted to %d, want %d", r.Config().VNodes, DefaultVNodes)
+	}
+}
+
+func TestOwnerDeterministicAcrossConstructions(t *testing.T) {
+	cfg := Config{Shards: 5, VNodes: 48, Seed: 1234, Epoch: 7}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same config, different fingerprints: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	for id := uint64(0); id < 10_000; id++ {
+		ao, bo := a.Owner(id), b.Owner(id)
+		if ao != bo {
+			t.Fatalf("Owner(%d) differs across constructions: %d vs %d", id, ao, bo)
+		}
+		if ao < 0 || ao >= cfg.Shards {
+			t.Fatalf("Owner(%d) = %d out of range", id, ao)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Config{Shards: 3, VNodes: 32, Seed: 9, Epoch: 1}
+	r0, _ := New(base)
+	for name, cfg := range map[string]Config{
+		"shards": {Shards: 4, VNodes: 32, Seed: 9, Epoch: 1},
+		"vnodes": {Shards: 3, VNodes: 33, Seed: 9, Epoch: 1},
+		"seed":   {Shards: 3, VNodes: 32, Seed: 10, Epoch: 1},
+		"epoch":  {Shards: 3, VNodes: 32, Seed: 9, Epoch: 2},
+	} {
+		r1, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Fingerprint() == r0.Fingerprint() {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestSpreadBalance(t *testing.T) {
+	r, err := New(Config{Shards: 3, VNodes: 128, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 60_000)
+	for i := range ids {
+		ids[i] = uint64(i) * 2654435761 // arbitrary but deterministic key set
+	}
+	counts := r.Spread(ids)
+	mean := float64(len(ids)) / float64(len(counts))
+	for s, c := range counts {
+		if ratio := float64(c) / mean; ratio < 0.6 || ratio > 1.5 {
+			t.Errorf("shard %d owns %d keys (%.2fx mean) — ring badly imbalanced: %v", s, c, ratio, counts)
+		}
+	}
+}
+
+func TestMinimalMovementOnGrowth(t *testing.T) {
+	const n = 4
+	before, err := New(Config{Shards: n, VNodes: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(Config{Shards: n + 1, VNodes: 64, Seed: 5, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 50_000
+	moved, movedElsewhere := 0, 0
+	for i := 0; i < keys; i++ {
+		id := uint64(i)*0x9e3779b9 + 17
+		a, b := before.Owner(id), after.Owner(id)
+		if a != b {
+			moved++
+			if b != n { // legal moves go to the new shard only
+				movedElsewhere++
+			}
+		}
+	}
+	// Adding one shard to n should move ~1/(n+1) of the keys; allow 2x
+	// slack for vnode variance.
+	frac := float64(moved) / keys
+	if want := 1.0 / float64(n+1); frac > 2*want {
+		t.Errorf("growth moved %.1f%% of keys, want about %.1f%%", 100*frac, 100*want)
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("%d keys moved between pre-existing shards; consistent hashing must only move keys to the new shard", movedElsewhere)
+	}
+	if frac == 0 {
+		t.Error("growth moved no keys at all — new shard owns nothing")
+	}
+}
+
+func TestOwnersDistinctAndOwnerFirst(t *testing.T) {
+	r, err := New(Config{Shards: 4, VNodes: 32, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 2000; id++ {
+		owners := r.Owners(id, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%d, 3) = %v, want 3 shards", id, owners)
+		}
+		if owners[0] != r.Owner(id) {
+			t.Fatalf("Owners(%d)[0] = %d, Owner = %d", id, owners[0], r.Owner(id))
+		}
+		seen := map[int]bool{}
+		for _, s := range owners {
+			if seen[s] {
+				t.Fatalf("Owners(%d) has duplicate shard: %v", id, owners)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Owners(1, 99); len(got) != 4 {
+		t.Errorf("Owners clamped to shard count: got %d, want 4", len(got))
+	}
+	if got := r.Owners(1, 0); got != nil {
+		t.Errorf("Owners(_, 0) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,330 @@
+// Package router is the stateless front tier of the FAST cluster: it owns
+// no index, only a placement ring and a client per shard. Queries fan out
+// to every shard and the per-shard topK lists are merged with exactly the
+// engine's ordering, so a routed answer is byte-identical to what a single
+// node holding the union corpus would return (the property test and the CI
+// cluster smoke enforce this). Inserts and deletes go to the single shard
+// the ring assigns the photo ID.
+//
+// Failure semantics: every shard call runs under its own timeout. A query
+// that loses a minority of shards still answers — flagged partial — from
+// the shards that responded; losing a majority is a quorum failure and the
+// query errors (HTTP 503). Mutations have exactly one owning shard, so a
+// dead owner fails the mutation outright.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/failpoint"
+	"github.com/fastrepro/fast/internal/metrics"
+	"github.com/fastrepro/fast/internal/placement"
+	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// Backend is one shard as the router sees it: the subset of the fastd
+// client surface fan-out needs. *client.Client satisfies it; tests
+// substitute in-process fakes.
+type Backend interface {
+	Query(ctx context.Context, img *simimg.Image, topK int) ([]core.SearchResult, error)
+	Insert(ctx context.Context, id uint64, img *simimg.Image) error
+	Delete(ctx context.Context, id uint64) error
+	Stats(ctx context.Context) (server.Stats, error)
+	Healthy(ctx context.Context) error
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards are the backends, indexed exactly as the placement ring's
+	// shard numbers. Required, at least one.
+	Shards []Backend
+	// Ring is the placement ring routing photo IDs to shards. Its shard
+	// count must equal len(Shards). Required.
+	Ring *placement.Ring
+	// ShardTimeout bounds each per-shard call; 0 means 2s.
+	ShardTimeout time.Duration
+	// TopKLimit caps per-query result budgets; 0 means 1000 (the serving
+	// layer's own default).
+	TopKLimit int
+}
+
+// ErrQuorumLost is returned when a majority of shards failed to answer a
+// query; wrapped errors carry the per-shard failures.
+var ErrQuorumLost = errors.New("router: a majority of shards is unreachable")
+
+// Router fans queries out and routes mutations by placement.
+type Router struct {
+	cfg Config
+
+	met struct {
+		queries        metrics.Counter
+		queryErrors    metrics.Counter
+		partialQueries metrics.Counter
+		quorumLost     metrics.Counter
+		inserts        metrics.Counter
+		insertErrors   metrics.Counter
+		deletes        metrics.Counter
+		shardErrors    metrics.Counter
+	}
+	start time.Time
+}
+
+// New validates cfg and builds a Router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: config needs at least one shard")
+	}
+	if cfg.Ring == nil {
+		return nil, errors.New("router: config needs a placement ring")
+	}
+	if cfg.Ring.Shards() != len(cfg.Shards) {
+		return nil, fmt.Errorf("router: ring has %d shards, config has %d backends",
+			cfg.Ring.Shards(), len(cfg.Shards))
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 2 * time.Second
+	}
+	if cfg.TopKLimit <= 0 {
+		cfg.TopKLimit = 1000
+	}
+	return &Router{cfg: cfg, start: time.Now()}, nil
+}
+
+// Ring exposes the placement ring (the HTTP layer reports its epoch and
+// fingerprint in /v1/stats so operators can verify ring agreement).
+func (rt *Router) Ring() *placement.Ring { return rt.cfg.Ring }
+
+// MergeTopK merges per-shard topK lists into the global topK with exactly
+// the engine's result ordering: score descending, ID ascending on ties.
+// Shards partition the photo space, but the merge dedups by ID anyway
+// (keeping the first, i.e. highest-ranked, occurrence) so a misconfigured
+// overlap degrades to correct answers rather than duplicates. The global
+// topK is always a subset of the union of per-shard topKs: a result
+// ranking in the global top k must rank in the top k of its own shard.
+func MergeTopK(lists [][]core.SearchResult, topK int) []core.SearchResult {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	merged := make([]core.SearchResult, 0, n)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	out := merged[:0]
+	seen := make(map[uint64]struct{}, len(merged))
+	for _, r := range merged {
+		if _, dup := seen[r.ID]; dup {
+			continue
+		}
+		seen[r.ID] = struct{}{}
+		out = append(out, r)
+		if len(out) == topK {
+			break
+		}
+	}
+	return out
+}
+
+// Query fans the probe to every shard and merges. partial is true when at
+// least one shard failed but a majority answered; the results then cover
+// the answering shards only. When a majority fails the error wraps
+// ErrQuorumLost.
+func (rt *Router) Query(ctx context.Context, img *simimg.Image, topK int) (results []core.SearchResult, partial bool, err error) {
+	if topK <= 0 {
+		topK = 50
+	}
+	if topK > rt.cfg.TopKLimit {
+		topK = rt.cfg.TopKLimit
+	}
+	type answer struct {
+		results []core.SearchResult
+		err     error
+	}
+	answers := make([]answer, len(rt.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, shard := range rt.cfg.Shards {
+		wg.Add(1)
+		go func(i int, shard Backend) {
+			defer wg.Done()
+			// Failpoint: Error deterministically fails this shard's leg
+			// (driving the partial/quorum paths), Delay simulates a slow
+			// shard racing the per-shard timeout.
+			if err := failpoint.Eval(failpoint.RouterFanout); err != nil {
+				answers[i].err = err
+				return
+			}
+			sctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+			defer cancel()
+			answers[i].results, answers[i].err = shard.Query(sctx, img, topK)
+		}(i, shard)
+	}
+	wg.Wait()
+
+	lists := make([][]core.SearchResult, 0, len(answers))
+	var shardErrs []error
+	for i, a := range answers {
+		if a.err != nil {
+			rt.met.shardErrors.Inc()
+			shardErrs = append(shardErrs, fmt.Errorf("shard %d: %w", i, a.err))
+			continue
+		}
+		lists = append(lists, a.results)
+	}
+	failed := len(shardErrs)
+	if failed*2 > len(rt.cfg.Shards) {
+		rt.met.quorumLost.Inc()
+		rt.met.queryErrors.Inc()
+		return nil, false, fmt.Errorf("%w: %d of %d shards failed: %v",
+			ErrQuorumLost, failed, len(rt.cfg.Shards), errors.Join(shardErrs...))
+	}
+	if err := failpoint.Eval(failpoint.RouterMerge); err != nil {
+		rt.met.queryErrors.Inc()
+		return nil, false, fmt.Errorf("router: merging shard answers: %w", err)
+	}
+	rt.met.queries.Inc()
+	if failed > 0 {
+		rt.met.partialQueries.Inc()
+	}
+	return MergeTopK(lists, topK), failed > 0, nil
+}
+
+// Insert routes the photo to its owning shard.
+func (rt *Router) Insert(ctx context.Context, id uint64, img *simimg.Image) error {
+	owner := rt.cfg.Ring.Owner(id)
+	sctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	defer cancel()
+	if err := rt.cfg.Shards[owner].Insert(sctx, id, img); err != nil {
+		rt.met.insertErrors.Inc()
+		return fmt.Errorf("router: shard %d (owner of %d): %w", owner, id, err)
+	}
+	rt.met.inserts.Inc()
+	return nil
+}
+
+// Delete routes the deletion to the photo's owning shard.
+func (rt *Router) Delete(ctx context.Context, id uint64) error {
+	owner := rt.cfg.Ring.Owner(id)
+	sctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	defer cancel()
+	if err := rt.cfg.Shards[owner].Delete(sctx, id); err != nil {
+		rt.met.insertErrors.Inc()
+		return fmt.Errorf("router: shard %d (owner of %d): %w", owner, id, err)
+	}
+	rt.met.deletes.Inc()
+	return nil
+}
+
+// ShardStats is one shard's row in the router's stats document.
+type ShardStats struct {
+	Shard   int    `json:"shard"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// Photos/Queries are the shard's own counters (zero when unreachable).
+	Photos  int   `json:"photos"`
+	Queries int64 `json:"queries"`
+}
+
+// Stats is the router's /v1/stats document: its own fan-out counters, the
+// ring identity both tiers must agree on, and a per-shard health/corpus
+// row (fetched live, under the per-shard timeout).
+type Stats struct {
+	Shards          int          `json:"shards"`
+	ShardsHealthy   int          `json:"shards_healthy"`
+	RingEpoch       uint64       `json:"ring_epoch"`
+	RingFingerprint uint64       `json:"ring_fingerprint"`
+	Queries         int64        `json:"queries"`
+	QueryErrors     int64        `json:"query_errors"`
+	PartialQueries  int64        `json:"partial_queries"`
+	QuorumLost      int64        `json:"quorum_lost"`
+	Inserts         int64        `json:"inserts"`
+	InsertErrors    int64        `json:"insert_errors"`
+	Deletes         int64        `json:"deletes"`
+	ShardErrors     int64        `json:"shard_errors"`
+	PhotosTotal     int          `json:"photos_total"`
+	UptimeNs        int64        `json:"uptime_ns"`
+	PerShard        []ShardStats `json:"per_shard"`
+}
+
+// Stats polls every shard (concurrently, under the shard timeout) and
+// assembles the aggregate document.
+func (rt *Router) Stats(ctx context.Context) Stats {
+	st := Stats{
+		Shards:          len(rt.cfg.Shards),
+		RingEpoch:       rt.cfg.Ring.Epoch(),
+		RingFingerprint: rt.cfg.Ring.Fingerprint(),
+		Queries:         rt.met.queries.Load(),
+		QueryErrors:     rt.met.queryErrors.Load(),
+		PartialQueries:  rt.met.partialQueries.Load(),
+		QuorumLost:      rt.met.quorumLost.Load(),
+		Inserts:         rt.met.inserts.Load(),
+		InsertErrors:    rt.met.insertErrors.Load(),
+		Deletes:         rt.met.deletes.Load(),
+		ShardErrors:     rt.met.shardErrors.Load(),
+		UptimeNs:        time.Since(rt.start).Nanoseconds(),
+		PerShard:        make([]ShardStats, len(rt.cfg.Shards)),
+	}
+	var wg sync.WaitGroup
+	for i, shard := range rt.cfg.Shards {
+		wg.Add(1)
+		go func(i int, shard Backend) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+			defer cancel()
+			row := ShardStats{Shard: i}
+			if ss, err := shard.Stats(sctx); err != nil {
+				row.Error = err.Error()
+			} else {
+				row.Healthy = true
+				row.Photos = ss.Photos
+				row.Queries = ss.Queries
+			}
+			st.PerShard[i] = row
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, row := range st.PerShard {
+		if row.Healthy {
+			st.ShardsHealthy++
+			st.PhotosTotal += row.Photos
+		}
+	}
+	return st
+}
+
+// Healthy reports whether a majority of shards answers its health check.
+func (rt *Router) Healthy(ctx context.Context) error {
+	healthy := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, shard := range rt.cfg.Shards {
+		wg.Add(1)
+		go func(shard Backend) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+			defer cancel()
+			if shard.Healthy(sctx) == nil {
+				mu.Lock()
+				healthy++
+				mu.Unlock()
+			}
+		}(shard)
+	}
+	wg.Wait()
+	if healthy*2 <= len(rt.cfg.Shards) {
+		return fmt.Errorf("%w: %d of %d shards healthy", ErrQuorumLost, healthy, len(rt.cfg.Shards))
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/failpoint"
+	"github.com/fastrepro/fast/internal/placement"
+	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/simimg"
+	"github.com/fastrepro/fast/internal/workload"
+)
+
+// engineBackend adapts an in-process engine to the Backend interface, so
+// router semantics are tested against real index behavior without HTTP in
+// the loop (the client/server wire is float64-exact by construction and is
+// exercised by the experiment and the CI cluster smoke).
+type engineBackend struct {
+	eng     *core.Engine
+	fail    bool
+	inserts []uint64
+	deletes []uint64
+}
+
+var errShardDown = errors.New("shard down")
+
+func (b *engineBackend) Query(ctx context.Context, img *simimg.Image, topK int) ([]core.SearchResult, error) {
+	if b.fail {
+		return nil, errShardDown
+	}
+	return b.eng.Query(img, topK)
+}
+
+func (b *engineBackend) Insert(ctx context.Context, id uint64, img *simimg.Image) error {
+	if b.fail {
+		return errShardDown
+	}
+	b.inserts = append(b.inserts, id)
+	return b.eng.Insert(&simimg.Photo{ID: id, Img: img})
+}
+
+func (b *engineBackend) Delete(ctx context.Context, id uint64) error {
+	if b.fail {
+		return errShardDown
+	}
+	b.deletes = append(b.deletes, id)
+	return b.eng.Delete(id)
+}
+
+func (b *engineBackend) Stats(ctx context.Context) (server.Stats, error) {
+	if b.fail {
+		return server.Stats{}, errShardDown
+	}
+	return server.Stats{Photos: b.eng.Len()}, nil
+}
+
+func (b *engineBackend) Healthy(ctx context.Context) error {
+	if b.fail {
+		return errShardDown
+	}
+	return nil
+}
+
+// testCorpus builds the union dataset shared by the router tests.
+func testCorpus(t *testing.T) *workload.Dataset {
+	t.Helper()
+	ds, err := workload.Generate(workload.Spec{
+		Name: "router", Scenes: 6, Photos: 120, Subjects: 3,
+		SubjectRate: 0.25, Resolution: 32, Seed: 17, SceneBase: 700,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// buildUnion builds the oracle engine over the whole corpus with group
+// expansion disabled — expansion walks stored summaries of top hits across
+// the whole index, which cannot be replicated by shards that each hold a
+// subset, so cluster serving always runs with it off.
+func buildUnion(t *testing.T, ds *workload.Dataset) *core.Engine {
+	t.Helper()
+	eng := core.NewEngine(core.Config{GroupExpand: -1})
+	if _, err := eng.Build(ds.Photos); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// shardEngines derives per-shard engines from the union engine's
+// serialization: every shard restores the same snapshot (same trained PCA
+// basis, same LSH geometry — the preconditions for identical scores) and
+// deletes the photos the ring assigns elsewhere. This mirrors exactly what
+// fastd -shard-index does at bootstrap.
+func shardEngines(t *testing.T, union *core.Engine, ring *placement.Ring) []*core.Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := union.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*core.Engine, ring.Shards())
+	for s := range engines {
+		eng, err := core.ReadEngine(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range eng.IDs() {
+			if ring.Owner(id) != s {
+				if err := eng.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		engines[s] = eng
+	}
+	return engines
+}
+
+func newTestRouter(t *testing.T, engines []*core.Engine, ring *placement.Ring) (*Router, []*engineBackend) {
+	t.Helper()
+	backends := make([]*engineBackend, len(engines))
+	shards := make([]Backend, len(engines))
+	for i, eng := range engines {
+		backends[i] = &engineBackend{eng: eng}
+		shards[i] = backends[i]
+	}
+	rt, err := New(Config{Shards: shards, Ring: ring, ShardTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, backends
+}
+
+// TestRouterTopKByteIdenticalOverRandomSplits is the cluster's core
+// correctness property: for random shard counts, ring seeds, and topK
+// budgets, a query routed over the shard split and merged must return
+// exactly — same IDs, bit-identical scores, same order — what the
+// single-node union engine returns.
+func TestRouterTopKByteIdenticalOverRandomSplits(t *testing.T) {
+	ds := testCorpus(t)
+	union := buildUnion(t, ds)
+	qs, err := ds.Queries(6, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	trials := 5
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		shards := 2 + rng.Intn(4) // 2..5
+		ring, err := placement.New(placement.Config{
+			Shards: shards,
+			VNodes: 16 + rng.Intn(64),
+			Seed:   rng.Uint64(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, _ := newTestRouter(t, shardEngines(t, union, ring), ring)
+		topK := 1 + rng.Intn(60)
+		for qi, q := range qs {
+			want, err := union.Query(q.Probe, topK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, partial, err := rt.Query(context.Background(), q.Probe, topK)
+			if err != nil {
+				t.Fatalf("trial %d query %d: %v", trial, qi, err)
+			}
+			if partial {
+				t.Fatalf("trial %d query %d flagged partial with all shards up", trial, qi)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d (shards=%d topK=%d) query %d: %d results, oracle %d",
+					trial, shards, topK, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d (shards=%d topK=%d) query %d rank %d: got {%d %.17g}, oracle {%d %.17g}",
+						trial, shards, topK, qi, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterPartialAndQuorum drives the degradation ladder on a 3-shard
+// cluster: one dead shard → partial answers that exactly merge the live
+// shards; two dead shards → quorum lost.
+func TestRouterPartialAndQuorum(t *testing.T) {
+	ds := testCorpus(t)
+	union := buildUnion(t, ds)
+	ring, err := placement.New(placement.Config{Shards: 3, VNodes: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := shardEngines(t, union, ring)
+	rt, backends := newTestRouter(t, engines, ring)
+	qs, err := ds.Queries(3, 901)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const topK = 30
+
+	backends[1].fail = true
+	for qi, q := range qs {
+		got, partial, err := rt.Query(context.Background(), q.Probe, topK)
+		if err != nil {
+			t.Fatalf("query %d with one shard down: %v", qi, err)
+		}
+		if !partial {
+			t.Fatalf("query %d not flagged partial with shard 1 down", qi)
+		}
+		// The partial answer must be exactly the merge of the live shards.
+		var lists [][]core.SearchResult
+		for s, eng := range engines {
+			if s == 1 {
+				continue
+			}
+			res, err := eng.Query(q.Probe, topK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lists = append(lists, res)
+		}
+		want := MergeTopK(lists, topK)
+		if len(got) != len(want) {
+			t.Fatalf("query %d partial: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d partial rank %d: got %+v want %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+	if err := rt.Healthy(context.Background()); err != nil {
+		t.Fatalf("router unhealthy with 2/3 shards up: %v", err)
+	}
+
+	backends[2].fail = true
+	if _, _, err := rt.Query(context.Background(), qs[0].Probe, topK); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("2/3 shards down: got %v, want ErrQuorumLost", err)
+	}
+	if err := rt.Healthy(context.Background()); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("healthz with 1/3 shards up: got %v, want ErrQuorumLost", err)
+	}
+
+	st := rt.Stats(context.Background())
+	if st.PartialQueries != int64(len(qs)) || st.QuorumLost != 1 || st.ShardsHealthy != 1 {
+		t.Fatalf("stats missed the degradation: %+v", st)
+	}
+}
+
+// TestRouterFanoutFailpoint exercises the deterministic failure injection
+// the crash/timeout matrix uses: an Error policy on router/fanout fails
+// exactly one shard leg (partial), and router/merge fails the whole query
+// after a successful fan-out.
+func TestRouterFanoutFailpoint(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	failpoint.Reset()
+	ds := testCorpus(t)
+	union := buildUnion(t, ds)
+	ring, err := placement.New(placement.Config{Shards: 3, VNodes: 32, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := newTestRouter(t, shardEngines(t, union, ring), ring)
+	qs, err := ds.Queries(1, 902)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	failpoint.Enable(failpoint.RouterFanout, failpoint.Policy{Action: failpoint.Error, Times: 1})
+	_, partial, err := rt.Query(context.Background(), qs[0].Probe, 20)
+	failpoint.Disable(failpoint.RouterFanout)
+	if err != nil || !partial {
+		t.Fatalf("one injected fanout failure: partial=%v err=%v, want partial answer", partial, err)
+	}
+
+	failpoint.Enable(failpoint.RouterMerge, failpoint.Policy{Action: failpoint.Error, Times: 1})
+	_, _, err = rt.Query(context.Background(), qs[0].Probe, 20)
+	failpoint.Disable(failpoint.RouterMerge)
+	if err == nil || !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("injected merge failure: got %v, want injected error", err)
+	}
+}
+
+// TestRouterMutationsRouteByPlacement: every insert and delete lands on
+// exactly the shard the ring owns the ID on, and is visible to subsequent
+// routed queries.
+func TestRouterMutationsRouteByPlacement(t *testing.T) {
+	ds := testCorpus(t)
+	union := buildUnion(t, ds)
+	ring, err := placement.New(placement.Config{Shards: 4, VNodes: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, backends := newTestRouter(t, shardEngines(t, union, ring), ring)
+	ctx := context.Background()
+
+	for i := 0; i < 12; i++ {
+		id := uint64(500_000 + i)
+		p := ds.FreshPhoto(id, int64(i))
+		if err := rt.Insert(ctx, id, p.Img); err != nil {
+			t.Fatalf("Insert %d: %v", id, err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		id := uint64(500_000 + i)
+		owner := ring.Owner(id)
+		found := false
+		for s, b := range backends {
+			for _, got := range b.inserts {
+				if got == id {
+					if s != owner {
+						t.Fatalf("insert %d landed on shard %d, ring owner is %d", id, s, owner)
+					}
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("insert %d reached no shard", id)
+		}
+	}
+
+	victim := union.IDs()[0]
+	if err := rt.Delete(ctx, victim); err != nil {
+		t.Fatalf("Delete %d: %v", victim, err)
+	}
+	owner := ring.Owner(victim)
+	if len(backends[owner].deletes) != 1 || backends[owner].deletes[0] != victim {
+		t.Fatalf("delete %d did not land on owner %d: %v", victim, owner, backends[owner].deletes)
+	}
+}
+
+// TestMergeTopKOrdering pins the merge comparator to the engine's exact
+// ordering — score descending, ID ascending on ties — plus dedup-by-ID
+// keeping the best-ranked occurrence and truncation to topK.
+func TestMergeTopKOrdering(t *testing.T) {
+	r := func(id uint64, score float64) core.SearchResult { return core.SearchResult{ID: id, Score: score} }
+	lists := [][]core.SearchResult{
+		{r(5, 0.9), r(2, 0.5), r(9, 0.5)},
+		{r(1, 0.9), r(3, 0.5), r(2, 0.3)}, // 2 duplicated at lower rank
+		{},
+	}
+	got := MergeTopK(lists, 10)
+	want := []core.SearchResult{r(1, 0.9), r(5, 0.9), r(2, 0.5), r(3, 0.5), r(9, 0.5)}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merge order:\n got %v\nwant %v", got, want)
+	}
+	if got := MergeTopK(lists, 2); len(got) != 2 || got[0].ID != 1 || got[1].ID != 5 {
+		t.Fatalf("topK truncation: %v", got)
+	}
+	if got := MergeTopK(nil, 5); len(got) != 0 {
+		t.Fatalf("empty merge: %v", got)
+	}
+}

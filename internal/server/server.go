@@ -209,6 +209,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/delete", s.handleDelete)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/snapshot/save", s.handleSnapshotSave)
+	mux.HandleFunc("/v1/snapshot/chunks", s.handleSnapshotChunks)
+	mux.HandleFunc("/v1/snapshot/fetch", s.handleSnapshotFetch)
 	mux.HandleFunc("/v1/restore", s.handleRestore)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux

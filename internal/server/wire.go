@@ -79,9 +79,28 @@ type WireResult struct {
 	Score float64 `json:"score"`
 }
 
-// QueryResponse is the body of a successful /v1/query.
+// QueryResponse is the body of a successful /v1/query. Partial is set only
+// by the cluster router: true means one or more shards failed (or timed
+// out) inside quorum, so the results cover the reachable shards only. A
+// single node never sets it.
 type QueryResponse struct {
 	Results []WireResult `json:"results"`
+	Partial bool         `json:"partial,omitempty"`
+}
+
+// ChunkSetResponse is the body of GET /v1/snapshot/chunks: the chunk-ID
+// inventory (hex SHA-256) of the server's persistent store.
+type ChunkSetResponse struct {
+	Chunked bool     `json:"chunked"`
+	Chunks  []string `json:"chunks"`
+}
+
+// FetchRequest is the body of POST /v1/snapshot/fetch: the chunk IDs the
+// caller already holds. The response is a binary FASTDLT1 delta stream
+// containing the newest generation's manifest plus every referenced chunk
+// not listed here.
+type FetchRequest struct {
+	Have []string `json:"have"`
 }
 
 // InsertRequest is the body of POST /v1/insert.

@@ -1,0 +1,339 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/fastrepro/fast/internal/failpoint"
+)
+
+// Replica catch-up over the chunk store.
+//
+// A chunked generation already names its payload as content-addressed
+// chunks, which makes "ship only what the other side is missing" the
+// natural replication primitive: the replica reports the chunk IDs it
+// holds, the primary streams the current FASTMAN1 manifest plus the chunks
+// that report didn't cover, and the replica publishes the manifest through
+// the standard crash-safe generation sequence once every referenced chunk
+// is durable locally. Transfer is proportional to the diff, not the index.
+//
+// The delta stream layout (all integers little-endian):
+//
+//	magic        "FASTDLT1"                    (8 bytes)
+//	manifestLen  uint32   encoded manifest size
+//	manifest     manifestLen bytes             (FASTMAN1, self-CRC'd)
+//	missing      uint32   number of chunk records that follow
+//	records      missing × { sha256 [32]byte, length uint32, data }
+//
+// No trailing CRC is needed: the manifest carries its own, every chunk is
+// verified against its SHA-256 on arrival, and ApplyDelta refuses to
+// publish unless every manifest chunk is present — so a truncated or
+// corrupted stream can only ever produce orphan chunks (reclaimed by GC),
+// never a bad generation. Interruption is recoverable by construction:
+// chunks land durably one at a time, so a resumed catch-up advertises the
+// chunks that already arrived and receives strictly less.
+const deltaMagic = "FASTDLT1"
+
+// maxDeltaManifestBytes bounds the manifest allocation a delta stream can
+// demand (a manifest at maxManifestChunks is ~151 MB; real ones are KBs).
+const maxDeltaManifestBytes = 192 << 20
+
+// ErrNotChunked is returned when a delta is requested from a store whose
+// newest generation is monolithic — there is no chunk set to diff against.
+var ErrNotChunked = errors.New("store: snapshot generation is not a chunk manifest")
+
+// ErrBadDelta wraps every delta-stream decode failure.
+var ErrBadDelta = errors.New("store: invalid snapshot delta stream")
+
+// ParseChunkID decodes the hex form produced by ChunkID.String.
+func ParseChunkID(s string) (ChunkID, error) {
+	var id ChunkID
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != sha256.Size {
+		return id, fmt.Errorf("store: invalid chunk ID %q", s)
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// LiveChunkIDs scans the store's chunk directory and returns every chunk
+// present under its final name, sorted. This is the set a replica
+// advertises when asking a primary for a delta: chunks landed by an
+// interrupted transfer are included (they are durable), so resumption is
+// diff-only automatically.
+func (g *Generations) LiveChunkIDs() ([]ChunkID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var ids []ChunkID
+	if err := g.chunks().scan(func(id ChunkID, _ int64) {
+		ids = append(ids, id)
+	}); err != nil {
+		return nil, fmt.Errorf("store: scanning chunk store: %w", err)
+	}
+	sort.Slice(ids, func(i, j int) bool { return bytes.Compare(ids[i][:], ids[j][:]) < 0 })
+	return ids, nil
+}
+
+// DeltaStats describes one delta stream from the primary's side.
+type DeltaStats struct {
+	// Chunks is the distinct chunk count of the manifest; ChunksSent of
+	// them were streamed, ChunksSkipped were already held by the replica.
+	Chunks        int `json:"chunks"`
+	ChunksSent    int `json:"chunks_sent"`
+	ChunksSkipped int `json:"chunks_skipped"`
+	// ManifestBytes + ChunkBytes is the total stream payload.
+	ManifestBytes int64 `json:"manifest_bytes"`
+	ChunkBytes    int64 `json:"chunk_bytes"`
+}
+
+// WriteDelta streams a catch-up delta for the newest generation into w:
+// the manifest plus every distinct referenced chunk not in have. The first
+// byte is written only after the manifest has been read and validated, so
+// callers (the /v1/snapshot/fetch handler) can still send a clean error
+// for a missing or monolithic generation.
+func (g *Generations) WriteDelta(w io.Writer, have map[ChunkID]struct{}) (DeltaStats, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var st DeltaStats
+
+	f, err := os.Open(g.Path)
+	if err != nil {
+		return st, fmt.Errorf("store: opening snapshot generation: %w", err)
+	}
+	br := bufio.NewReader(f)
+	if !sniffManifest(br) {
+		f.Close()
+		return st, ErrNotChunked
+	}
+	m, err := ReadManifest(br)
+	f.Close()
+	if err != nil {
+		return st, err
+	}
+	enc := m.encode()
+
+	// Distinct chunks in first-appearance order; a manifest may reference
+	// the same chunk several times but it only needs to travel once.
+	seen := make(map[ChunkID]uint32, len(m.Chunks))
+	type rec struct {
+		id  ChunkID
+		len uint32
+	}
+	var missing []rec
+	for _, c := range m.Chunks {
+		if _, dup := seen[c.ID]; dup {
+			continue
+		}
+		seen[c.ID] = c.Len
+		st.Chunks++
+		if _, ok := have[c.ID]; ok {
+			st.ChunksSkipped++
+			continue
+		}
+		missing = append(missing, rec{c.ID, c.Len})
+	}
+
+	bw := bufio.NewWriter(w)
+	var u32 [4]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if _, err := bw.WriteString(deltaMagic); err != nil {
+		return st, err
+	}
+	if err := put32(uint32(len(enc))); err != nil {
+		return st, err
+	}
+	if _, err := bw.Write(enc); err != nil {
+		return st, err
+	}
+	st.ManifestBytes = int64(len(enc))
+	if err := put32(uint32(len(missing))); err != nil {
+		return st, err
+	}
+	cs := g.chunks()
+	for _, r := range missing {
+		data, err := cs.read(r.id, r.len)
+		if err != nil {
+			return st, fmt.Errorf("store: delta chunk %s: %w", r.id, err)
+		}
+		if _, err := bw.Write(r.id[:]); err != nil {
+			return st, err
+		}
+		if err := put32(r.len); err != nil {
+			return st, err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return st, err
+		}
+		st.ChunksSent++
+		st.ChunkBytes += int64(len(data))
+	}
+	if err := bw.Flush(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// ApplyResult describes one applied delta from the replica's side.
+type ApplyResult struct {
+	// Chunks is the distinct chunk count of the received manifest.
+	// ChunksFetched arrived in the stream; ChunksReused were already in
+	// the local store (from prior generations or an interrupted transfer).
+	Chunks        int `json:"chunks"`
+	ChunksFetched int `json:"chunks_fetched"`
+	ChunksReused  int `json:"chunks_reused"`
+	// BytesFetched is the chunk payload received; with ManifestBytes it is
+	// the transfer cost of this catch-up. PayloadBytes is what a full
+	// (non-delta) snapshot transfer would have cost.
+	BytesFetched  int64 `json:"bytes_fetched"`
+	ManifestBytes int64 `json:"manifest_bytes"`
+	PayloadBytes  int64 `json:"payload_bytes"`
+	// GCChunks / GCBytes report the post-publish orphan sweep.
+	GCChunks int   `json:"gc_chunks"`
+	GCBytes  int64 `json:"gc_bytes"`
+}
+
+// ApplyDelta consumes a delta stream: lands every streamed chunk durably
+// in the local chunk store (verifying each against its SHA-256), refuses
+// to proceed unless every chunk the manifest references is then present,
+// and publishes the manifest as the new primary generation through the
+// same temp-fsync-rotate-rename-dirsync sequence every snapshot write
+// uses. An error at any point before publish leaves the previous
+// generation untouched; chunks that already landed stay (they are
+// content-addressed, so they are either referenced by the next attempt or
+// reclaimed by GC).
+func (g *Generations) ApplyDelta(r io.Reader) (ApplyResult, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var res ApplyResult
+
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return res, fmt.Errorf("%w: reading magic: %v", ErrBadDelta, err)
+	}
+	if string(magic[:]) != deltaMagic {
+		return res, fmt.Errorf("%w: bad magic %q", ErrBadDelta, magic[:])
+	}
+	var u32 [4]byte
+	read32 := func(what string) (uint32, error) {
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return 0, fmt.Errorf("%w: reading %s: %v", ErrBadDelta, what, err)
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	mlen, err := read32("manifest length")
+	if err != nil {
+		return res, err
+	}
+	if mlen == 0 || mlen > maxDeltaManifestBytes {
+		return res, fmt.Errorf("%w: manifest length %d out of range", ErrBadDelta, mlen)
+	}
+	enc := make([]byte, mlen)
+	if _, err := io.ReadFull(br, enc); err != nil {
+		return res, fmt.Errorf("%w: reading manifest: %v", ErrBadDelta, err)
+	}
+	m, err := ReadManifest(bytes.NewReader(enc))
+	if err != nil {
+		return res, err
+	}
+	res.ManifestBytes = int64(len(enc))
+	res.PayloadBytes = int64(m.PayloadLen)
+
+	want := make(map[ChunkID]uint32, len(m.Chunks))
+	for _, c := range m.Chunks {
+		want[c.ID] = c.Len
+	}
+	res.Chunks = len(want)
+
+	count, err := read32("chunk count")
+	if err != nil {
+		return res, err
+	}
+	if count > maxManifestChunks {
+		return res, fmt.Errorf("%w: chunk count %d exceeds bound %d", ErrBadDelta, count, maxManifestChunks)
+	}
+
+	cs := g.chunks()
+	var ent [36]byte // id + length
+	for i := uint32(0); i < count; i++ {
+		// The failpoint models the transfer dying mid-stream (primary
+		// crash, network cut): everything already landed stays durable,
+		// nothing references the unfinished state, and the caller retries
+		// with a fresh delta.
+		if err := failpoint.Eval(failpoint.StoreChunkFetch); err != nil {
+			return res, fmt.Errorf("store: fetching chunk %d/%d: %w", i, count, err)
+		}
+		if _, err := io.ReadFull(br, ent[:]); err != nil {
+			return res, fmt.Errorf("%w: reading chunk record %d of %d: %v", ErrBadDelta, i, count, err)
+		}
+		var id ChunkID
+		copy(id[:], ent[:32])
+		clen := binary.LittleEndian.Uint32(ent[32:36])
+		wlen, referenced := want[id]
+		if !referenced || clen != wlen {
+			return res, fmt.Errorf("%w: chunk %s (len %d) not referenced by the manifest", ErrBadDelta, id, clen)
+		}
+		data := make([]byte, clen)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return res, fmt.Errorf("%w: reading chunk %s: %v", ErrBadDelta, id, err)
+		}
+		if got := ChunkID(sha256.Sum256(data)); got != id {
+			return res, fmt.Errorf("%w: chunk %s content hashes to %s", ErrBadDelta, id, got)
+		}
+		if _, err := cs.write(id, data); err != nil {
+			return res, err
+		}
+		res.ChunksFetched++
+		res.BytesFetched += int64(len(data))
+	}
+	res.ChunksReused = res.Chunks - res.ChunksFetched
+
+	// Completeness gate: every manifest chunk must be present before the
+	// manifest becomes the generation other code will try to load. A
+	// primary that under-sent (or a replica that over-advertised) surfaces
+	// here, not at recovery time.
+	for id := range want {
+		if !cs.has(id) {
+			return res, fmt.Errorf("store: delta incomplete: chunk %s still missing after transfer", id)
+		}
+	}
+
+	if _, err := g.publishLocked(func(w io.Writer) (int64, error) {
+		n, err := bytes.NewReader(enc).WriteTo(w)
+		return n, err
+	}); err != nil {
+		return res, err
+	}
+
+	// Same advisory GC as a chunked write: the rotation may have orphaned
+	// chunks only the dropped generation referenced, and an interrupted
+	// earlier transfer may have left chunks nothing references.
+	if err := failpoint.Eval(failpoint.StoreChunkGC); err == nil {
+		if n, b, gcErr := g.gcLocked(cs); gcErr == nil {
+			res.GCChunks, res.GCBytes = n, b
+		}
+	}
+
+	g.noteWrite(WriteResult{
+		Chunked:       true,
+		LogicalBytes:  res.PayloadBytes,
+		PhysicalBytes: res.BytesFetched + res.ManifestBytes,
+		ManifestBytes: res.ManifestBytes,
+		Chunks:        res.Chunks,
+		ChunksNew:     res.ChunksFetched,
+		ChunksReused:  res.ChunksReused,
+	})
+	return res, nil
+}
