@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query bench-snapshot bench-cluster bench-gate serve fmt-check fuzz soak ci
+.PHONY: build test race vet bench bench-ingest bench-serve bench-cache bench-query bench-snapshot bench-cluster bench-tiered bench-gate serve fmt-check fuzz soak ci
 
 # Per-target budget for `make fuzz`; CI uses 60s per target.
 FUZZTIME ?= 30s
@@ -70,6 +70,16 @@ bench-snapshot:
 bench-cluster:
 	$(GO) run ./cmd/fastbench -exp cluster -scale 20000
 
+# Tiered-index benchmark: an all-RAM oracle vs a tiered engine serving a
+# corpus ~12x larger than its hot watermark from mmap'd cold segments.
+# Answers at every stage (migration, churn, compaction) must be
+# byte-identical to the oracle, the corpus must be ≥10x the watermark, and
+# tiered qps must stay within 10x of all-RAM — all three are hard gates
+# inside the experiment. Runs at scale 20000 (1050 photos) so the scale
+# gates are enforced; writes BENCH_tiered.json.
+bench-tiered:
+	$(GO) run ./cmd/fastbench -exp tiered -scale 20000
+
 # Perf-regression gate: re-measure the query sweep into a scratch directory
 # and compare it against the committed BENCH_query.json baseline. Fails on a
 # >20% qps drop or a p99 blowup on any common worker count — the same check
@@ -98,13 +108,14 @@ fuzz:
 # Failpoint soak: every fault-injection suite (snapshot crash matrix,
 # chunk-store crash matrix + GC interleavings, generation rotation,
 # injected 429/503 bursts, transport faults, cuckoo exhaustion/rehash,
-# interrupted catch-up streams, router fan-out/merge faults) repeated
-# under the race detector.
+# interrupted catch-up streams, router fan-out/merge faults, tiered
+# migration crash matrix + cold-tier churn) repeated under the race
+# detector.
 soak:
 	$(GO) test -race -count=3 ./internal/failpoint/
 	$(GO) test -race -count=3 -timeout=20m \
 		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport|Interleaving|Churn|Interrupted|Fanout|PartialAndQuorum' \
-		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/ ./internal/router/
+		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/ ./internal/router/ ./internal/tiered/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

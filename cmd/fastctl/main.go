@@ -233,6 +233,12 @@ func runQuery(args []string) {
 		fmt.Printf("server cache: summary %d hits / %d misses, results %d hits / %d misses, %d singleflight waits, %d deduped (epoch %d)\n",
 			st.SummaryCacheHits, st.SummaryCacheMisses, st.ResultCacheHits, st.ResultCacheMisses,
 			st.CacheSingleflightWaits, st.QueryDeduped, st.CacheEpoch)
+		if st.TieredEnabled {
+			fmt.Printf("server cold tier: %d hot / %d cold entries, %d segments (%d bytes on disk, %d tombstones); queries probed %d cold buckets, scanned %d postings / %d bytes; %d migrations, %d compactions\n",
+				st.TieredHotEntries, st.TieredColdEntries, st.TieredSegments, st.TieredColdBytes,
+				st.TieredTombstones, st.TieredSpillProbes, st.TieredPostingsScanned,
+				st.TieredBytesScanned, st.TieredMigrations, st.TieredCompactions)
+		}
 	}
 	if hits == 0 {
 		log.Fatal("fastctl query: no query returned any results")

@@ -20,6 +20,12 @@
 // newest-first until one passes its checksums; /v1/stats reports which
 // generation loaded and why.
 //
+// With -cold-dir the index runs in two tiers: a hot in-RAM tier and a
+// disk-resident tier of mmap'd immutable segments, with a background
+// compactor migrating entries beyond -cold-watermark to disk. Queries
+// answer byte-identically to an all-RAM engine; see DESIGN.md, "Tiered
+// index".
+//
 // On SIGINT/SIGTERM the daemon drains: health checks start failing, new
 // requests are refused, in-flight requests finish, and (with
 // -final-snapshot) the index is persisted so the next run can resume it.
@@ -73,6 +79,9 @@ func main() {
 		vnodes      = flag.Int("placement-vnodes", placement.DefaultVNodes, "placement ring virtual nodes per shard (must match the router's)")
 		placeSeed   = flag.Uint64("placement-seed", 0, "placement ring hash seed (must match the router's)")
 		groupExpand = flag.Int("group-expand", 0, "engine group expansion for synthetic bootstraps (0 = engine default, negative disables; forced off in shard mode)")
+		coldDir     = flag.String("cold-dir", "", "directory for the disk-resident cold index tier (empty = all-RAM engine)")
+		coldWM      = flag.Int("cold-watermark", 0, "hot-tier entry bound: the background compactor migrates entries beyond it to the cold tier (0 = manual migration only)")
+		coldBatch   = flag.Int("cold-batch", 0, "entries per cold-tier migration segment (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -124,6 +133,25 @@ func main() {
 	// are applied here rather than persisted in snapshots; /v1/restore carries
 	// them onto replacement engines.
 	eng.ConfigureCache(*sumCache, *resCache)
+
+	// The cold tier is likewise serving-side state: hot snapshots never
+	// contain it (its segments are already durable in -cold-dir), and
+	// /v1/restore adopts the open store onto replacement engines. Enabling
+	// it after bootstrap reconciles ids the cold catalog already owns out of
+	// the snapshot-loaded hot tier, so a crash between migration and
+	// snapshot never double-serves an entry.
+	if *coldDir != "" {
+		swept, err := eng.EnableColdTier(*coldDir, *coldWM, *coldBatch)
+		if err != nil {
+			log.Fatalf("cold tier: %v", err)
+		}
+		for _, p := range swept {
+			log.Printf("cold tier: removed abandoned temp file %s", p)
+		}
+		cs := eng.ColdStats()
+		log.Printf("cold tier %s: %d entries in %d segments (%d bytes on disk, %d tombstones), watermark %d",
+			*coldDir, cs.Entries, cs.Segments, cs.DiskBytes, cs.Tombstones, *coldWM)
+	}
 
 	// The persistent generation store backs both POST /v1/snapshot/save and
 	// the shutdown snapshot, so a hot save and the final one dedup against
@@ -202,6 +230,14 @@ func main() {
 				res.ChunksReused, res.Chunks, res.GCChunks, res.GCBytes)
 		} else {
 			log.Printf("final snapshot written to %s (%d bytes)", *finalSnap, res.LogicalBytes)
+		}
+	}
+	// Stop the background compactor and unmap the cold segments; the cold
+	// tier's own state is already durable (every migration publishes its
+	// catalog before the view), so this is teardown, not persistence.
+	if *coldDir != "" {
+		if err := srv.Engine().CloseColdTier(); err != nil {
+			log.Printf("cold tier close: %v", err)
 		}
 	}
 	log.Println("bye")

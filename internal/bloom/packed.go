@@ -47,6 +47,23 @@ func AppendPacked(dst []uint64, m uint32, setBits []uint32) []uint64 {
 // Packed returns a freshly allocated packed-word form of the sparse summary.
 func (s *Sparse) Packed() []uint64 { return AppendPacked(nil, s.M, s.Bits) }
 
+// AppendBits appends the set-bit positions of the packed words to dst in
+// ascending order and returns the extended slice — the inverse of
+// AppendPacked. The cold tier stores only the packed form on disk; group
+// expansion reconstructs a stored entry's sparse position list from it, and
+// because packing is order-preserving the reconstruction is exactly the
+// sorted Bits slice the summary was stored with.
+func AppendBits(dst []uint32, words []uint64) []uint32 {
+	for wi, w := range words {
+		base := uint32(wi * 64)
+		for w != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // AndOrCount returns popcount(a&b) and popcount(a|b) over two equal-length
 // word slices — the intersection and union cardinalities of the underlying
 // bit sets, computed 64 bits at a time. Callers guarantee len(a) == len(b)

@@ -36,6 +36,7 @@ import (
 	"github.com/fastrepro/fast/internal/lsh"
 	"github.com/fastrepro/fast/internal/simimg"
 	"github.com/fastrepro/fast/internal/store"
+	"github.com/fastrepro/fast/internal/tiered"
 )
 
 // SearchResult is one ranked hit.
@@ -137,6 +138,19 @@ type Config struct {
 	// stop being addressable and can never be served stale. 0 disables the
 	// tier. Like SummaryCache, answers are byte-identical either way.
 	ResultCache int
+	// ColdDir, when non-empty, names the directory of the disk-resident
+	// cold tier (see internal/tiered and tiered.go): entries migrated out
+	// of RAM keep answering queries from mmap'd postings, byte-identically
+	// to an all-RAM engine over the union corpus. The tier attaches via
+	// OpenColdTier/EnableColdTier, not at construction — it needs a built
+	// index to pin its geometry.
+	ColdDir string
+	// ColdWatermark, when positive, bounds the hot tier: the background
+	// compactor migrates the oldest entries to disk whenever the resident
+	// count exceeds it. 0 leaves migration fully manual (MigrateCold).
+	ColdWatermark int
+	// ColdBatch is the migration batch size; 0 means 256.
+	ColdBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -217,6 +231,17 @@ type Engine struct {
 	resCache    atomic.Pointer[cache.Cache[[]SearchResult]]
 	sumCacheCap atomic.Int64 // configured T1 bound (0 = disabled)
 	resCacheCap atomic.Int64 // configured T2 bound (0 = disabled)
+
+	// The disk-resident cold tier (see tiered.go); nil until
+	// EnableColdTier/OpenColdTier/AdoptColdTier attaches one. All guarded
+	// by mu; lock-free queries reach the cold tier only through the view
+	// snapshot publishLocked captures. Lock order is always e.mu before the
+	// tiered store's internal lock.
+	cold     *tiered.Store
+	coldDisk store.DiskModel // cost model for cold bucket scans
+	coldKick chan struct{}   // non-blocking over-watermark nudge to the compactor
+	coldStop chan struct{}   // closed to stop the compactor
+	coldDone chan struct{}   // closed by the compactor on exit
 }
 
 // NewEngine returns an unbuilt engine; Build must run before Query/Insert.
@@ -305,21 +330,47 @@ func (e *Engine) prepareSummary(pca *feature.PCASIFT, img *simimg.Image) (prepar
 	return pr, nil
 }
 
-// Len returns the number of indexed photos (excluding deleted ones).
+// Len returns the number of indexed photos (excluding deleted ones),
+// counting both tiers when a cold tier is attached.
 func (e *Engine) Len() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.byID)
+	return len(e.byID) + e.coldOnlyLocked()
 }
 
-// IDs returns the live photo IDs in ascending order. The cluster tier uses
-// it to subset a union-built engine down to one shard's owned photos (and
-// the placement diagnostics to measure ring balance over a real corpus).
+// coldOnlyLocked counts the live cold entries not also resident in RAM.
+// The two tiers are disjoint except inside the tiered/migrate crash window,
+// where a batch is briefly dual-resident; counting the cold side minus the
+// overlap keeps Len/Stats truthful even there.
+func (e *Engine) coldOnlyLocked() int {
+	if e.cold == nil {
+		return 0
+	}
+	n := 0
+	for _, id := range e.cold.AppendIDs(nil) {
+		if _, hot := e.byID[id]; !hot {
+			n++
+		}
+	}
+	return n
+}
+
+// IDs returns the live photo IDs in ascending order, across both tiers.
+// The cluster tier uses it to subset a union-built engine down to one
+// shard's owned photos (and the placement diagnostics to measure ring
+// balance over a real corpus).
 func (e *Engine) IDs() []uint64 {
 	e.mu.RLock()
 	ids := make([]uint64, 0, len(e.byID))
 	for id := range e.byID {
 		ids = append(ids, id)
+	}
+	if e.cold != nil {
+		for _, id := range e.cold.AppendIDs(nil) {
+			if _, hot := e.byID[id]; !hot {
+				ids = append(ids, id)
+			}
+		}
 	}
 	e.mu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -428,6 +479,17 @@ type queryScratch struct {
 	keys     []uint64
 	results  []SearchResult
 	inResult map[uint64]bool
+
+	// Cold-spill buffers, touched only when a cold tier is attached (see
+	// their viewScratch counterparts for roles).
+	seen     map[lsh.ItemID]struct{}
+	gseen    map[lsh.ItemID]struct{}
+	pwords   []uint64
+	bandKeys []uint64
+	cwords   []uint64
+	rwords   []uint64
+	gkeys    []uint64
+	gbits    []uint32
 }
 
 var queryScratchPool = sync.Pool{New: func() interface{} { return new(queryScratch) }}
@@ -449,7 +511,14 @@ func (e *Engine) searchSummary(probeSparse *bloom.Sparse, topK, workers int) ([]
 	if err != nil {
 		return nil, epoch, err
 	}
-	if len(ids) == 0 {
+	// With a populated cold tier the probe may still hit spilled entries
+	// even when every hot bucket came up empty.
+	var coldView *tiered.View
+	if e.cold != nil {
+		coldView = e.cold.View()
+	}
+	coldActive := coldView.Len() > 0
+	if len(ids) == 0 && !coldActive {
 		return nil, epoch, nil
 	}
 
@@ -513,6 +582,34 @@ func (e *Engine) searchSummary(probeSparse *bloom.Sparse, topK, workers int) ([]
 	}
 	wg.Wait()
 
+	// Spill to the cold tier: scan the probe's band buckets on disk,
+	// skipping ids the hot probe already collected, so the union candidate
+	// set — and with the shared total-order sort, the answer — matches an
+	// all-RAM engine over the union corpus. Cold candidates are scored by
+	// packed-word Jaccard, which is bit-for-bit the sparse merge above.
+	wordN := bloom.PackedWords(probeSparse.M)
+	if coldActive {
+		if sc.seen == nil {
+			sc.seen = make(map[lsh.ItemID]struct{}, len(ids))
+		} else {
+			clear(sc.seen)
+		}
+		for _, id := range ids {
+			sc.seen[id] = struct{}{}
+		}
+		sc.pwords = bloom.AppendPacked(sc.pwords, probeSparse.M, probeSparse.Bits)
+		sc.bandKeys, err = e.index.AppendBandKeys(sc.bandKeys[:0], probeSparse.Bits)
+		if err != nil {
+			queryScratchPool.Put(sc)
+			return nil, epoch, err
+		}
+		if cap(sc.cwords) < wordN {
+			sc.cwords = make([]uint64, wordN)
+		}
+		results = appendColdHits(coldView, e.cold, sc.bandKeys, sc.pwords,
+			sc.seen, results, sc.cwords[:wordN], e.coldDisk, &qc)
+	}
+
 	// Filter and rank.
 	kept := results[:0]
 	for _, r := range results {
@@ -542,15 +639,39 @@ func (e *Engine) searchSummary(probeSparse *bloom.Sparse, topK, workers int) ([]
 		}
 		for h := 0; h < expandFrom; h++ {
 			hit := kept[h]
-			slot, ok := e.byID[hit.ID]
-			if !ok {
+			// Resolve the representative from whichever tier holds it; a
+			// cold rep's bits are reconstructed from its packed words (the
+			// exact inverse of packing), so the member re-query uses the
+			// identical element set the all-hot engine would.
+			var rep *bloom.Sparse
+			var repWords []uint64
+			var repBits []uint32
+			var repM uint32
+			if slot, ok := e.byID[hit.ID]; ok {
+				rep = e.entries[slot].summary
+				if len(rep.Bits) == 0 {
+					continue
+				}
+				repWords, repBits, repM = e.entries[slot].words, rep.Bits, rep.M
+			} else if coldActive {
+				seg, rec, ok := coldView.Lookup(hit.ID)
+				if !ok {
+					continue
+				}
+				if cap(sc.rwords) < wordN {
+					sc.rwords = make([]uint64, wordN)
+				}
+				repWords = seg.RecordWords(rec, sc.rwords[:wordN])
+				sc.gbits = bloom.AppendBits(sc.gbits[:0], repWords)
+				repBits = sc.gbits
+				if len(repBits) == 0 {
+					continue
+				}
+				repM = probeSparse.M // cold geometry is pinned to the engine's
+			} else {
 				continue
 			}
-			rep := e.entries[slot].summary
-			if len(rep.Bits) == 0 {
-				continue
-			}
-			groupIDs, err := e.index.Query(rep.Bits)
+			groupIDs, err := e.index.Query(repBits)
 			if err != nil {
 				continue
 			}
@@ -563,15 +684,49 @@ func (e *Engine) searchSummary(probeSparse *bloom.Sparse, topK, workers int) ([]
 				if !ok {
 					continue
 				}
-				sim, err := bloom.JaccardSparse(rep, e.entries[gslot].summary)
-				if err != nil || sim < e.cfg.MinScore {
+				g := &e.entries[gslot]
+				var sim float64
+				if rep != nil {
+					sim, err = bloom.JaccardSparse(rep, g.summary)
+					if err != nil {
+						continue
+					}
+				} else {
+					if g.summary == nil || g.summary.M != repM {
+						continue
+					}
+					sim = bloom.JaccardPacked(repWords, g.words)
+				}
+				if sim < e.cfg.MinScore {
 					continue
 				}
-				qc.charge(e.ram.RandomRead(int64(e.entries[gslot].summary.SizeBytes())), 0)
+				qc.charge(e.ram.RandomRead(int64(g.summary.SizeBytes())), 0)
 				inResult[id] = true
 				// Member score: affinity to the group representative,
 				// discounted by the representative's own probe score.
 				kept = append(kept, SearchResult{ID: id, Score: hit.Score * sim})
+			}
+			// Cold groupmates: scan the rep's band buckets on disk, with
+			// gseen dedup'ing ids the hot member query already returned.
+			if coldActive && repM == probeSparse.M {
+				if sc.gseen == nil {
+					sc.gseen = make(map[lsh.ItemID]struct{}, len(groupIDs))
+				} else {
+					clear(sc.gseen)
+				}
+				for _, gid := range groupIDs {
+					sc.gseen[gid] = struct{}{}
+				}
+				sc.gkeys, err = e.index.AppendBandKeys(sc.gkeys[:0], repBits)
+				if err != nil {
+					continue
+				}
+				if cap(sc.cwords) < wordN {
+					sc.cwords = make([]uint64, wordN)
+				}
+				kept = appendColdMembers(coldView, e.cold, sc.gkeys, repWords,
+					hit.Score, e.cfg.MinScore, inResult, sc.gseen, kept,
+					sc.cwords[:wordN], e.coldDisk, &qc)
 			}
 		}
 		sortResults(kept)
@@ -647,6 +802,7 @@ type EngineStats struct {
 	Table       cuckoo.Stats
 	LSH         lsh.BucketStats
 	Sim         SimCost
+	Tiered      TieredStats // cold-tier block; Enabled=false when detached
 }
 
 // Stats returns a consistent aggregate of the engine's counters: photo and
@@ -676,6 +832,25 @@ func (e *Engine) Stats() EngineStats {
 		st.Table = e.table.Stats()
 		st.TableShards = e.table.Shards()
 		st.IndexBytes += int64(e.table.Cap()) * 16
+	}
+	if e.cold != nil {
+		cs := e.cold.Stats()
+		coldOnly := e.coldOnlyLocked()
+		st.Photos += coldOnly // IndexBytes stays RAM-resident-only
+		st.Tiered = TieredStats{
+			Enabled:             true,
+			HotEntries:          len(e.byID),
+			ColdEntries:         coldOnly,
+			Segments:            cs.Segments,
+			Tombstones:          cs.Tombstones,
+			ColdDiskBytes:       cs.DiskBytes,
+			Migrations:          cs.Migrations,
+			Compactions:         cs.Compactions,
+			SpillProbes:         cs.SpillProbes,
+			ColdPostingsScanned: cs.PostingsScanned,
+			ColdBytesScanned:    cs.BytesScanned,
+			Watermark:           e.cfg.ColdWatermark,
+		}
 	}
 	return st
 }

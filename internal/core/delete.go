@@ -19,6 +19,20 @@ func (e *Engine) Delete(id uint64) error {
 	}
 	slot, ok := e.byID[id]
 	if !ok {
+		// Not resident: the photo may have been migrated to the cold tier,
+		// where deletion is a durable catalog tombstone (the record itself
+		// lingers on disk until the compactor folds it away).
+		if e.cold != nil {
+			deleted, err := e.cold.Delete(id)
+			if err != nil {
+				return fmt.Errorf("core: deleting cold photo %d: %w", id, err)
+			}
+			if deleted {
+				e.epoch.Add(1)
+				e.publishLocked(false, nil, nil)
+				return nil
+			}
+		}
 		return fmt.Errorf("core: photo %d not indexed", id)
 	}
 	sp := e.entries[slot].summary
@@ -39,6 +53,13 @@ func (e *Engine) Delete(id uint64) error {
 	next[slot] = entry{} // tombstone
 	e.entries = next
 	delete(e.byID, id)
+	// Dual residency (a migration interrupted between its cold publish and
+	// hot removal) must not resurrect the photo: tombstone the cold copy too.
+	if e.cold != nil && e.cold.Contains(id) {
+		if _, err := e.cold.Delete(id); err != nil {
+			return fmt.Errorf("core: deleting cold copy of photo %d: %w", id, err)
+		}
+	}
 	e.epoch.Add(1) // retire result-cache entries computed before the delete
 	var sets [][]uint32
 	if sp != nil && len(sp.Bits) > 0 {
@@ -48,12 +69,14 @@ func (e *Engine) Delete(id uint64) error {
 	return nil
 }
 
-// Contains reports whether a photo is currently indexed.
+// Contains reports whether a photo is currently indexed in either tier.
 func (e *Engine) Contains(id uint64) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	_, ok := e.byID[id]
-	return ok
+	if _, ok := e.byID[id]; ok {
+		return true
+	}
+	return e.cold != nil && e.cold.Contains(id)
 }
 
 // Compact rebuilds the entry storage without deletion tombstones, shrinking

@@ -293,6 +293,9 @@ func (e *Engine) storeLocked(id uint64, sparse *bloom.Sparse) error {
 	if _, dup := e.byID[id]; dup {
 		return fmt.Errorf("core: photo %d already indexed", id)
 	}
+	if e.cold != nil && e.cold.Contains(id) {
+		return fmt.Errorf("core: photo %d already indexed", id)
+	}
 	if len(sparse.Bits) > 0 {
 		if err := e.index.Insert(lsh.ItemID(id), sparse.Bits); err != nil {
 			return err
@@ -316,5 +319,6 @@ func (e *Engine) storeLocked(id uint64, sparse *bloom.Sparse) error {
 	e.byID[id] = slot
 	e.epoch.Add(1) // retire result-cache entries computed before the insert
 	e.chargeSim(e.ram.RandomWrite(int64(sparse.SizeBytes())), int64(sparse.SizeBytes()))
+	e.maybeKickColdLocked()
 	return nil
 }

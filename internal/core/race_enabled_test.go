@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary. Allocation-count assertions are skipped under the
+// detector: its instrumentation changes escape analysis, so
+// testing.AllocsPerRun measures the instrumentation, not the code.
+const raceEnabled = true

@@ -8,6 +8,8 @@ import (
 	"github.com/fastrepro/fast/internal/cuckoo"
 	"github.com/fastrepro/fast/internal/feature"
 	"github.com/fastrepro/fast/internal/lsh"
+	"github.com/fastrepro/fast/internal/store"
+	"github.com/fastrepro/fast/internal/tiered"
 )
 
 // The epoch-published read path.
@@ -58,6 +60,16 @@ type readView struct {
 	entries  []entry          // slot storage; shared, never written in place
 	minScore float64          // cfg snapshot, so a view is self-contained
 	expand   int              // cfg.GroupExpand
+
+	// Cold-tier pairing. The tiered view is captured under the same e.mu
+	// hold that froze the hot structures, so a query always sees a coherent
+	// hot+cold split of the corpus: an entry mid-migration is visible in
+	// exactly one tier of any single readView (or both around the
+	// tiered/migrate failpoint window, where the seen-set dedup makes the
+	// duplicate benign). All nil when the cold tier is disabled.
+	cold      *tiered.View
+	coldStore *tiered.Store   // spill-counter sink only; never locked by queries
+	coldDisk  store.DiskModel // cost model for cold bucket scans
 }
 
 // publishLocked derives the next readView from the engine's mutable
@@ -79,7 +91,7 @@ func (e *Engine) publishLocked(full bool, sets [][]uint32, keys []uint64) {
 		lv = e.index.Refreeze(prev.index, sets...)
 		tv = e.table.Refreeze(prev.table, keys...)
 	}
-	e.view.Store(&readView{
+	next := &readView{
 		epoch:    e.epoch.Load(),
 		basisGen: e.basisGen,
 		pca:      e.pcasift,
@@ -88,7 +100,13 @@ func (e *Engine) publishLocked(full bool, sets [][]uint32, keys []uint64) {
 		entries:  e.entries,
 		minScore: e.cfg.MinScore,
 		expand:   e.cfg.GroupExpand,
-	})
+	}
+	if e.cold != nil {
+		next.cold = e.cold.View()
+		next.coldStore = e.cold
+		next.coldDisk = e.coldDisk
+	}
+	e.view.Store(next)
 }
 
 // PublishedEpoch reports the epoch of the currently published read view
@@ -112,6 +130,16 @@ type viewScratch struct {
 	inResult map[uint64]bool
 	gids     []lsh.ItemID
 	gseen    map[lsh.ItemID]struct{}
+
+	// Cold-spill buffers, touched only when the view carries a cold tier:
+	// the probe's band keys, the per-posting word scratch (used on hosts
+	// without a zero-copy mmap word view), the cold representative's words
+	// and reconstructed bits, and the representative's band keys.
+	bandKeys []uint64
+	cwords   []uint64
+	rwords   []uint64
+	gkeys    []uint64
+	gbits    []uint32
 }
 
 var viewScratchPool = sync.Pool{New: func() interface{} { return new(viewScratch) }}
@@ -142,7 +170,10 @@ func (e *Engine) searchView(probeSparse *bloom.Sparse, topK, workers int) ([]Sea
 		putScratch()
 		return nil, v.epoch, err
 	}
-	if len(ids) == 0 {
+	// With a populated cold tier the probe may still hit spilled entries
+	// even when every hot bucket came up empty.
+	coldActive := v.cold != nil && v.cold.Len() > 0
+	if len(ids) == 0 && !coldActive {
 		putScratch()
 		return nil, v.epoch, nil
 	}
@@ -215,6 +246,24 @@ func (e *Engine) searchView(probeSparse *bloom.Sparse, topK, workers int) ([]Sea
 		}
 	}
 
+	// Spill to the cold tier: scan the same band buckets on disk, skipping
+	// anything the hot probe already collected (sc.seen holds the hot
+	// candidate set), so the union candidate set — and with the shared
+	// total-order sort below, the answer — matches an all-RAM engine over
+	// the union corpus.
+	if coldActive {
+		sc.bandKeys, err = v.index.AppendBandKeys(sc.bandKeys[:0], probeSparse.Bits)
+		if err != nil {
+			putScratch()
+			return nil, v.epoch, err
+		}
+		if cap(sc.cwords) < len(probeWords) {
+			sc.cwords = make([]uint64, len(probeWords))
+		}
+		results = appendColdHits(v.cold, v.coldStore, sc.bandKeys, probeWords,
+			sc.seen, results, sc.cwords[:len(probeWords)], v.coldDisk, &qc)
+	}
+
 	// Filter and rank.
 	kept := results[:0]
 	for _, r := range results {
@@ -243,18 +292,41 @@ func (e *Engine) searchView(probeSparse *bloom.Sparse, topK, workers int) ([]Sea
 		}
 		for h := 0; h < expandFrom; h++ {
 			hit := kept[h]
-			slot, ok := v.table.Lookup(hit.ID)
-			if !ok {
-				continue
-			}
-			rep := &v.entries[slot]
-			if rep.summary == nil || len(rep.summary.Bits) == 0 {
+			// Resolve the representative's summary from whichever tier
+			// holds it; a cold rep's bits are reconstructed from its packed
+			// words (exact inverse of packing), so the member re-probe uses
+			// the identical element set the all-hot engine would.
+			var repWords []uint64
+			var repBits []uint32
+			var repM uint32
+			if slot, ok := v.table.Lookup(hit.ID); ok {
+				rep := &v.entries[slot]
+				if rep.summary == nil || len(rep.summary.Bits) == 0 {
+					continue
+				}
+				repWords, repBits, repM = rep.words, rep.summary.Bits, rep.summary.M
+			} else if coldActive {
+				seg, rec, ok := v.cold.Lookup(hit.ID)
+				if !ok {
+					continue
+				}
+				if cap(sc.rwords) < len(probeWords) {
+					sc.rwords = make([]uint64, len(probeWords))
+				}
+				repWords = seg.RecordWords(rec, sc.rwords[:len(probeWords)])
+				sc.gbits = bloom.AppendBits(sc.gbits[:0], repWords)
+				repBits = sc.gbits
+				if len(repBits) == 0 {
+					continue
+				}
+				repM = probeSparse.M // cold geometry is pinned to the engine's
+			} else {
 				continue
 			}
 			if sc.gseen == nil {
 				sc.gseen = make(map[lsh.ItemID]struct{})
 			}
-			gids, err := v.index.AppendQuery(sc.gids[:0], sc.gseen, rep.summary.Bits)
+			gids, err := v.index.AppendQuery(sc.gids[:0], sc.gseen, repBits)
 			sc.gids = gids
 			if err != nil {
 				continue
@@ -269,16 +341,31 @@ func (e *Engine) searchView(probeSparse *bloom.Sparse, topK, workers int) ([]Sea
 					continue
 				}
 				g := &v.entries[gslot]
-				if g.summary == nil || g.summary.M != rep.summary.M {
+				if g.summary == nil || g.summary.M != repM {
 					continue
 				}
-				sim := bloom.JaccardPacked(rep.words, g.words)
+				sim := bloom.JaccardPacked(repWords, g.words)
 				if sim < v.minScore {
 					continue
 				}
 				qc.charge(e.ram.RandomRead(int64(g.summary.SizeBytes())), 0)
 				inResult[id] = true
 				kept = append(kept, SearchResult{ID: id, Score: hit.Score * sim})
+			}
+			// Cold groupmates: scan the rep's band buckets on disk. gseen
+			// holds the hot members AppendQuery just collected, so each
+			// member scores once no matter which tier holds it.
+			if coldActive && repM == probeSparse.M {
+				sc.gkeys, err = v.index.AppendBandKeys(sc.gkeys[:0], repBits)
+				if err != nil {
+					continue
+				}
+				if cap(sc.cwords) < len(probeWords) {
+					sc.cwords = make([]uint64, len(probeWords))
+				}
+				kept = appendColdMembers(v.cold, v.coldStore, sc.gkeys, repWords,
+					hit.Score, v.minScore, inResult, sc.gseen, kept,
+					sc.cwords[:len(probeWords)], v.coldDisk, &qc)
 			}
 		}
 		sortResults(kept)

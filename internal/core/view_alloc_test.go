@@ -15,6 +15,9 @@ import (
 // against — handing AppendQuery a nil seen map so it silently allocates a
 // fresh one per query — adds a map header plus buckets on every run.
 func TestSearchViewSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
 	ds := testDatasetCached(t)
 	e := builtEngine(t, ds)
 	e.ConfigureCache(0, 0) // measure the search path, not the cache
@@ -49,5 +52,60 @@ func TestSearchViewSteadyStateAllocations(t *testing.T) {
 	// allocs/query a per-query candidate map costs.
 	if avg > 3 {
 		t.Errorf("QuerySummary steady state allocates %.1f/run; candidate scratch is not being pooled", avg)
+	}
+}
+
+// TestSearchViewColdSpillSteadyStateAllocations is the same bound over the
+// tiered spill path: with half the corpus migrated to the cold tier, a
+// query scans mmap'd postings for every probed bucket, and none of that —
+// band keys, posting word views, the cold candidate appends, the spill
+// accounting — may allocate once the scratch pool is warm. The bound admits
+// one extra allocation over the pure-hot path for growth of the pooled
+// buffers settling in.
+func TestSearchViewColdSpillSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	ds := testDatasetCached(t)
+	e := builtEngine(t, ds)
+	e.ConfigureCache(0, 0)
+	if _, err := e.EnableColdTier(t.TempDir(), 0, 0); err != nil {
+		t.Fatalf("EnableColdTier: %v", err)
+	}
+	if n, err := e.MigrateCold(len(ds.Photos) / 2); err != nil || n == 0 {
+		t.Fatalf("MigrateCold: n=%d err=%v", n, err)
+	}
+
+	qs, err := ds.Queries(1, 77)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	filter, err := e.Summarize(qs[0].Probe)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	ps := bloom.ToSparse(filter)
+
+	warm, err := e.QuerySummary(ps, 40, 1)
+	if err != nil {
+		t.Fatalf("QuerySummary: %v", err)
+	}
+	if len(warm) == 0 {
+		t.Fatal("probe returned no candidates; allocation measurement is vacuous")
+	}
+	if e.ColdStats().SpillProbes == 0 {
+		t.Fatal("warm query never spilled to the cold tier; measurement is vacuous")
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := e.QuerySummary(ps, 40, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 4 {
+		t.Errorf("tiered QuerySummary steady state allocates %.1f/run; the spill path is allocating per query", avg)
+	}
+	if err := e.CloseColdTier(); err != nil {
+		t.Fatalf("CloseColdTier: %v", err)
 	}
 }

@@ -204,6 +204,7 @@ func All() []Experiment {
 		{"serve", "Serving: coalesced network queries vs naive goroutine-per-request", RunServe},
 		{"snapshot", "Snapshot: content-addressed delta generations vs monolithic rewrites", RunSnapshot},
 		{"cluster", "Cluster: sharded fan-out identity, degradation, replica chunk-diff catch-up", RunCluster},
+		{"tiered", "Tiered index: disk-resident cold tier vs all-RAM oracle (identity-verified)", RunTiered},
 		{"fig8a", "Figure 8a: network transmission overhead", RunFig8a},
 		{"fig8b", "Figure 8b: smartphone energy consumption", RunFig8b},
 		{"ablation", "Ablations: design-choice sweeps", RunAblation},

@@ -22,8 +22,8 @@ func tinyEnv() (*Env, *bytes.Buffer) {
 
 func TestAllRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
 	}
 	for _, ex := range all {
 		got, err := ByID(ex.ID)
@@ -194,6 +194,46 @@ func TestRunThroughput(t *testing.T) {
 	for _, row := range report.Rows {
 		if row.QPS <= 0 || row.Workers <= 0 || row.P99Ns < row.P50Ns {
 			t.Errorf("bad row: %+v", row)
+		}
+	}
+}
+
+func TestRunTiered(t *testing.T) {
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	e := NewEnv(Options{Scale: 300000, Queries: 2, Seed: 3, Out: &buf, ArtifactDir: dir})
+	if err := RunTiered(e); err != nil {
+		t.Fatalf("RunTiered: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"byte-identical", "tiered qps", "cold tier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tiered output missing %q", want)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_tiered.json"))
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var report tieredReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if report.ColdEntries == 0 || report.Segments == 0 || report.IdentityChecks == 0 ||
+		report.SpillProbes == 0 || len(report.Rows) == 0 {
+		t.Errorf("artifact content: %+v", report)
+	}
+	for _, row := range report.Rows {
+		if row.HotQPS <= 0 || row.TieredQPS <= 0 || row.Workers <= 0 {
+			t.Errorf("bad row: %+v", row)
+		}
+	}
+	// The tiered experiment runs on private engine copies: the shared env
+	// engine must not have grown a cold tier or lost photos.
+	if bp, err := e.Pipeline("Wuhan", "FAST"); err == nil {
+		eng := bp.p.(*core.Engine)
+		if eng.Stats().Tiered.Enabled {
+			t.Error("env engine left with a cold tier enabled")
 		}
 	}
 }

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/driver"
+)
+
+// tieredQPSRow is one worker-count comparison in BENCH_tiered.json: the
+// same prepared query stream through the all-RAM oracle and the tiered
+// engine. Ratio is hot/tiered — how much the disk spill costs.
+type tieredQPSRow struct {
+	Workers   int     `json:"workers"`
+	HotQPS    float64 `json:"hot_qps"`
+	TieredQPS float64 `json:"tiered_qps"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// tieredReport is the BENCH_tiered.json document.
+type tieredReport struct {
+	Corpus    int `json:"corpus_photos"`
+	Watermark int `json:"watermark"`
+	// CorpusOverWatermark is the headline scale claim: how many times
+	// larger the served corpus is than the RAM-resident hot tier.
+	CorpusOverWatermark float64        `json:"corpus_over_watermark"`
+	HotEntries          int            `json:"hot_entries"`
+	ColdEntries         int            `json:"cold_entries"`
+	Segments            int            `json:"segments"`
+	ColdDiskBytes       int64          `json:"cold_disk_bytes"`
+	Migrations          int64          `json:"migrations"`
+	Compactions         int64          `json:"compactions"`
+	SpillProbes         int64          `json:"spill_probes"`
+	ColdPostingsScanned int64          `json:"cold_postings_scanned"`
+	ColdBytesScanned    int64          `json:"cold_bytes_scanned"`
+	IdentityChecks      int            `json:"identity_checks"` // oracle-compared queries across all stages
+	Rows                []tieredQPSRow `json:"rows"`
+}
+
+// RunTiered is the acceptance benchmark for the disk-resident tiered
+// index. An all-RAM oracle engine and a tiered copy (hot watermark ~1/12
+// of the corpus, the rest served from mmap'd cold segments) answer the
+// same query stream at every stage — after migration, after insert/delete
+// churn, after compaction — and every answer must be byte-identical; any
+// divergence fails the run. The run then measures the qps cost of the
+// cold spill at increasing worker counts. Gates (enforced at bench scale,
+// ≥500 photos): the corpus must be ≥10x the hot watermark, and tiered qps
+// must stay within 10x of the all-RAM engine.
+func RunTiered(e *Env) error {
+	w := e.Opts().Out
+	header(w, "Tiered index: hot in-RAM tier + mmap'd cold postings (identity-verified)")
+
+	bp, err := e.Pipeline("Wuhan", "FAST")
+	if err != nil {
+		return err
+	}
+	built, ok := bp.p.(*core.Engine)
+	if !ok {
+		return fmt.Errorf("experiments: FAST pipeline is not a *core.Engine")
+	}
+	ds, err := e.Dataset("Wuhan")
+	if err != nil {
+		return err
+	}
+
+	// Both engines are fresh copies restored from one serialization of the
+	// shared built engine: they differ only in tier placement, and the
+	// churn below never leaks into other experiments of the same run.
+	var base bytes.Buffer
+	if _, err := built.WriteTo(&base); err != nil {
+		return err
+	}
+	oracle, err := core.ReadEngine(bytes.NewReader(base.Bytes()))
+	if err != nil {
+		return fmt.Errorf("experiments: restoring oracle engine: %w", err)
+	}
+	tiered, err := core.ReadEngine(bytes.NewReader(base.Bytes()))
+	if err != nil {
+		return fmt.Errorf("experiments: restoring tiered engine: %w", err)
+	}
+
+	scratch, err := os.MkdirTemp("", "fast-tiered-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	watermark := len(ds.Photos) / 12
+	if watermark < 8 {
+		watermark = 8
+	}
+	if _, err := tiered.EnableColdTier(filepath.Join(scratch, "cold"), watermark, 128); err != nil {
+		return fmt.Errorf("experiments: enabling cold tier: %w", err)
+	}
+	defer tiered.CloseColdTier()
+
+	// Drain the hot tier to the watermark synchronously so the measured
+	// state is deterministic; the background compactor covers the churn
+	// phase below.
+	for {
+		over := tiered.Stats().Tiered.HotEntries - watermark
+		if over <= 0 {
+			break
+		}
+		if over > 128 {
+			over = 128
+		}
+		n, err := tiered.MigrateCold(over)
+		if err != nil {
+			return fmt.Errorf("experiments: migrating to cold tier: %w", err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	ts := tiered.Stats().Tiered
+	fmt.Fprintf(w, "corpus: %d photos; hot watermark %d (%.1fx corpus/watermark)\n",
+		len(ds.Photos), watermark, float64(len(ds.Photos))/float64(watermark))
+	fmt.Fprintf(w, "cold tier: %d entries in %d segments, %s on disk; hot tier holds %d\n\n",
+		ts.ColdEntries, ts.Segments, fmtBytes(ts.ColdDiskBytes), ts.HotEntries)
+
+	nq := 2 * e.Opts().Queries
+	if nq < 12 {
+		nq = 12
+	}
+	qs, err := ds.Queries(nq, e.Opts().Seed+11)
+	if err != nil {
+		return err
+	}
+	identityChecks := 0
+	checkIdentity := func(stage string) error {
+		for qi, q := range qs {
+			want, err := oracle.Query(q.Probe, 40)
+			if err != nil {
+				return err
+			}
+			got, err := tiered.Query(q.Probe, 40)
+			if err != nil {
+				return err
+			}
+			if len(got) != len(want) {
+				return fmt.Errorf("experiments: tiered %s query %d: %d results, oracle %d",
+					stage, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("experiments: tiered %s query %d result %d drifted (%+v vs oracle %+v)",
+						stage, qi, i, got[i], want[i])
+				}
+			}
+			identityChecks++
+		}
+		fmt.Fprintf(w, "identity %-16s %d queries byte-identical to the all-RAM oracle\n", stage+":", len(qs))
+		return nil
+	}
+	if err := checkIdentity("after migration"); err != nil {
+		return err
+	}
+
+	// Churn: fresh inserts (pushing the hot tier over its watermark, so
+	// the background compactor migrates behind them) plus deletes striding
+	// the original corpus — most land on cold-resident entries and become
+	// catalog tombstones. Both engines see the same mutations.
+	inserts := watermark / 2
+	if inserts < 8 {
+		inserts = 8
+	}
+	nextID := uint64(8_500_000)
+	for i := 0; i < inserts; i++ {
+		p := ds.FreshPhoto(nextID, int64(3000+i))
+		if err := oracle.Insert(p); err != nil {
+			return fmt.Errorf("experiments: churn insert: %w", err)
+		}
+		if err := tiered.Insert(p); err != nil {
+			return fmt.Errorf("experiments: churn insert (tiered): %w", err)
+		}
+		nextID++
+	}
+	deletes := inserts / 2
+	for i := 0; i < deletes; i++ {
+		id := ds.Photos[(i*17)%len(ds.Photos)].ID
+		if !oracle.Contains(id) {
+			continue
+		}
+		if err := oracle.Delete(id); err != nil {
+			return fmt.Errorf("experiments: churn delete: %w", err)
+		}
+		if err := tiered.Delete(id); err != nil {
+			return fmt.Errorf("experiments: churn delete (tiered): %w", err)
+		}
+	}
+	if err := checkIdentity("after churn"); err != nil {
+		return err
+	}
+
+	// Wait for the background compactor to drain the insert overshoot, so
+	// the qps measurement below sees a settled hot tier.
+	settle := time.Now()
+	for tiered.Stats().Tiered.HotEntries > watermark {
+		if time.Since(settle) > 30*time.Second {
+			return fmt.Errorf("experiments: compactor failed to drain hot tier to %d (at %d)",
+				watermark, tiered.Stats().Tiered.HotEntries)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Fold the delete tombstones away and verify answers survive the
+	// segment rewrite.
+	if err := tiered.CompactColdTier(); err != nil {
+		return fmt.Errorf("experiments: compacting cold tier: %w", err)
+	}
+	if ts := tiered.Stats().Tiered; ts.Tombstones != 0 {
+		return fmt.Errorf("experiments: %d tombstones survived compaction", ts.Tombstones)
+	}
+	if err := checkIdentity("after compaction"); err != nil {
+		return err
+	}
+	if oracle.Len() != tiered.Len() {
+		return fmt.Errorf("experiments: tiered engine serves %d photos, oracle %d", tiered.Len(), oracle.Len())
+	}
+
+	// QPS: the same prepared stream through both engines. The tiered
+	// engine pays mmap'd bucket scans for every probe whose candidates
+	// spill past the hot tier; the ratio bounds that cost.
+	fmt.Fprintf(w, "\n%-8s | %12s %12s %8s\n", "workers", "hot qps", "tiered qps", "ratio")
+	final := tiered.Stats().Tiered
+	report := tieredReport{
+		Corpus:              len(ds.Photos),
+		Watermark:           watermark,
+		CorpusOverWatermark: float64(len(ds.Photos)) / float64(watermark),
+		HotEntries:          final.HotEntries,
+		ColdEntries:         final.ColdEntries,
+		Segments:            final.Segments,
+		ColdDiskBytes:       final.ColdDiskBytes,
+		Migrations:          final.Migrations,
+		Compactions:         final.Compactions,
+		IdentityChecks:      identityChecks,
+	}
+	worstRatio := 0.0
+	workerSet := map[int]bool{1: true, 4: true, runtime.GOMAXPROCS(0): true}
+	workers := make([]int, 0, len(workerSet))
+	for c := range workerSet {
+		workers = append(workers, c)
+	}
+	sort.Ints(workers)
+	for _, c := range workers {
+		d := driver.Driver{Clients: c, TopK: 50}
+		hot, err := d.RunBatchPrepared(oracle, ds, qs)
+		if err != nil {
+			return err
+		}
+		cold, err := d.RunBatchPrepared(tiered, ds, qs)
+		if err != nil {
+			return err
+		}
+		if hot.Failures > 0 || cold.Failures > 0 {
+			return fmt.Errorf("experiments: %d hot / %d tiered queries failed", hot.Failures, cold.Failures)
+		}
+		ratio := hot.Throughput / cold.Throughput
+		if ratio > worstRatio {
+			worstRatio = ratio
+		}
+		report.Rows = append(report.Rows, tieredQPSRow{
+			Workers: c, HotQPS: hot.Throughput, TieredQPS: cold.Throughput, Ratio: ratio,
+		})
+		fmt.Fprintf(w, "%-8d | %12.1f %12.1f %7.2fx\n", c, hot.Throughput, cold.Throughput, ratio)
+	}
+	st := tiered.Stats().Tiered
+	report.SpillProbes = st.SpillProbes
+	report.ColdPostingsScanned = st.ColdPostingsScanned
+	report.ColdBytesScanned = st.ColdBytesScanned
+	if st.SpillProbes == 0 {
+		return fmt.Errorf("experiments: no query ever probed the cold tier — the measurement is vacuous")
+	}
+
+	// Acceptance gates, enforced at bench scale only: tiny smoke corpora
+	// cannot put 10x the watermark on disk, and their qps ratios measure
+	// fixed per-query overhead rather than the spill path.
+	gateNote := "scale gates not enforced (corpus below bench scale)"
+	if len(ds.Photos) >= 500 {
+		if report.CorpusOverWatermark < 10 {
+			return fmt.Errorf("experiments: corpus is only %.1fx the hot watermark — below the 10x gate",
+				report.CorpusOverWatermark)
+		}
+		if worstRatio > 10 {
+			return fmt.Errorf("experiments: tiered qps is %.1fx slower than all-RAM — above the 10x gate", worstRatio)
+		}
+		gateNote = fmt.Sprintf("gates clear: corpus %.1fx watermark (≥10x), worst qps ratio %.2fx (≤10x)",
+			report.CorpusOverWatermark, worstRatio)
+	}
+
+	path := filepath.Join(e.Opts().ArtifactDir, "BENCH_tiered.json")
+	if err := writeJSONReport(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n(cold spill: %d bucket probes scanned %d postings / %s across the run;\n%s;\nmachine-readable report written to %s)\n",
+		st.SpillProbes, st.ColdPostingsScanned, fmtBytes(st.ColdBytesScanned), gateNote, path)
+	return nil
+}

@@ -78,4 +78,18 @@ const (
 	// Resizable grow path.
 	CuckooInsertFull = "cuckoo/insert-full"
 	CuckooRehash     = "cuckoo/rehash"
+
+	// Disk-resident cold tier (internal/tiered, internal/core). The sites
+	// bracket the three steps of the hot→cold migration protocol, in
+	// order: segment-write fires inside the segment temp-file write (arm
+	// with PartialWrite for a torn segment), segment-publish fires after
+	// the segment file is durable but before the catalog generation that
+	// references it is published (a crash here leaves an orphan segment
+	// the next open sweeps), and migrate fires after the catalog publish
+	// but before the migrated entries are removed from the hot tier (a
+	// crash here leaves ids resident in both tiers, which recovery
+	// reconciles and queries dedup in the meantime).
+	TieredSegmentWrite   = "tiered/segment-write"
+	TieredSegmentPublish = "tiered/segment-publish"
+	TieredMigrate        = "tiered/migrate"
 )

@@ -443,6 +443,14 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	// engine starts with empty tiers (fresh object, fresh epoch), so no
 	// pre-restore entry can ever be served against the new index.
 	e.ConfigureCache(s.Engine().CacheConfig())
+	// Hot snapshots never include the cold tier: transfer the old engine's
+	// open cold store (mappings and all, so in-flight queries against the
+	// old engine keep scanning valid memory) onto the replacement and
+	// reconcile ids the snapshot still holds hot.
+	if err := e.AdoptColdTier(s.Engine()); err != nil {
+		writeError(w, http.StatusBadRequest, "restore failed: %v", err)
+		return
+	}
 	s.swapEngine(e)
 	writeJSON(w, http.StatusOK, OKResponse{OK: true})
 }
@@ -486,6 +494,19 @@ func (s *Server) Stats() Stats {
 		IndexBytes:        est.IndexBytes,
 		LSHShards:         est.LSHShards,
 		TableShards:       est.TableShards,
+
+		TieredEnabled:         est.Tiered.Enabled,
+		TieredHotEntries:      est.Tiered.HotEntries,
+		TieredColdEntries:     est.Tiered.ColdEntries,
+		TieredSegments:        est.Tiered.Segments,
+		TieredTombstones:      est.Tiered.Tombstones,
+		TieredColdBytes:       est.Tiered.ColdDiskBytes,
+		TieredMigrations:      est.Tiered.Migrations,
+		TieredCompactions:     est.Tiered.Compactions,
+		TieredSpillProbes:     est.Tiered.SpillProbes,
+		TieredPostingsScanned: est.Tiered.ColdPostingsScanned,
+		TieredBytesScanned:    est.Tiered.ColdBytesScanned,
+		TieredWatermark:       est.Tiered.Watermark,
 
 		SummaryCacheHits:       cs.Summary.Hits,
 		SummaryCacheMisses:     cs.Summary.Misses,

@@ -254,6 +254,103 @@ func TestSnapshotRestoreOverWire(t *testing.T) {
 	}
 }
 
+// TestTieredStatsAndRestoreAdoption serves the corpus from a two-tier
+// engine (half the photos migrated to the disk-resident cold tier): wire
+// answers must be byte-identical to an all-RAM oracle, /v1/stats must
+// expose the tiered_* counters, and a hot-snapshot restore must hand the
+// open cold store to the replacement engine rather than dropping half the
+// corpus.
+func TestTieredStatsAndRestoreAdoption(t *testing.T) {
+	oracle, ds := baseEngine(t)
+	_, _, cA := startServer(t, server.Config{Engine: oracle})
+
+	engB, _ := baseEngine(t)
+	if _, err := engB.EnableColdTier(t.TempDir(), 0, 0); err != nil {
+		t.Fatalf("EnableColdTier: %v", err)
+	}
+	if _, err := engB.MigrateCold(len(ds.Photos) / 2); err != nil {
+		t.Fatalf("MigrateCold: %v", err)
+	}
+	sB, _, cB := startServer(t, server.Config{Engine: engB})
+	t.Cleanup(func() { sB.Engine().CloseColdTier() })
+	ctx := context.Background()
+
+	st, err := cB.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if !st.TieredEnabled {
+		t.Fatal("tiered_enabled = false on a tiered engine")
+	}
+	if st.TieredColdEntries == 0 || st.TieredSegments == 0 {
+		t.Fatalf("cold tier empty in stats: %d entries, %d segments", st.TieredColdEntries, st.TieredSegments)
+	}
+	if got := st.TieredHotEntries + st.TieredColdEntries; got != len(ds.Photos) {
+		t.Fatalf("hot+cold = %d, corpus %d", got, len(ds.Photos))
+	}
+	if st.Photos != len(ds.Photos) || st.TieredColdBytes <= 0 || st.TieredMigrations == 0 {
+		t.Fatalf("tiered stats inconsistent: %+v", st)
+	}
+
+	checkIdentity := func(stage string) {
+		t.Helper()
+		qs, err := ds.Queries(4, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range qs {
+			want, err := oracle.Query(q.Probe, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cB.Query(ctx, q.Probe, 30)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", stage, qi, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: %d results over the wire, oracle %d", stage, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s query %d result %d: %+v vs oracle %+v", stage, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	checkIdentity("tiered")
+
+	st2, err := cB.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st2.TieredSpillProbes == 0 || st2.TieredPostingsScanned == 0 {
+		t.Fatalf("queries never spilled to the cold tier: probes=%d postings=%d",
+			st2.TieredSpillProbes, st2.TieredPostingsScanned)
+	}
+
+	// Restore an all-hot snapshot from the oracle's server: the replacement
+	// engine must adopt B's open cold tier and reconcile the ids it already
+	// serves from disk back out of RAM.
+	var snap bytes.Buffer
+	if _, err := cA.Snapshot(ctx, &snap); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := cB.Restore(ctx, bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	st3, err := cB.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if !st3.TieredEnabled || st3.TieredColdEntries == 0 {
+		t.Fatalf("cold tier lost across restore: %+v", st3)
+	}
+	if got := st3.TieredHotEntries + st3.TieredColdEntries; got != oracle.Len() {
+		t.Fatalf("hot+cold = %d after restore, oracle %d", got, oracle.Len())
+	}
+	checkIdentity("restored")
+}
+
 // TestAdmissionBackpressure floods a server whose admission budget is one
 // executing request and one waiting request; the overflow must be refused
 // with 429 + Retry-After rather than queued without bound.

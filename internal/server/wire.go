@@ -152,12 +152,27 @@ type Stats struct {
 	UptimeNs          int64   `json:"uptime_ns"`          // time since the server was constructed
 
 	// Engine state (point-in-time, mutually consistent).
-	Photos      int    `json:"photos"`       // live indexed photos
+	Photos      int    `json:"photos"`       // live indexed photos (both tiers)
 	Entries     int    `json:"entries"`      // entry slots including deletion tombstones
 	IndexEpoch  uint64 `json:"index_epoch"`  // epoch of the published lock-free read view
 	IndexBytes  int64  `json:"index_bytes"`  // resident index size
 	LSHShards   int    `json:"lsh_shards"`   // lock shards per LSH band
 	TableShards int    `json:"table_shards"` // lock shards of the flat cuckoo table
+
+	// Disk-resident cold tier (see DESIGN.md, "Tiered index"). All zero
+	// when the engine runs without one (tiered_enabled false).
+	TieredEnabled         bool  `json:"tiered_enabled"`
+	TieredHotEntries      int   `json:"tiered_hot_entries"`      // live entries resident in RAM
+	TieredColdEntries     int   `json:"tiered_cold_entries"`     // live entries served from disk
+	TieredSegments        int   `json:"tiered_segments"`         // immutable cold segment files
+	TieredTombstones      int   `json:"tiered_tombstones"`       // cold deletes awaiting compaction
+	TieredColdBytes       int64 `json:"tiered_cold_bytes"`       // on-disk size of live segments
+	TieredMigrations      int64 `json:"tiered_migrations"`       // hot→cold segment freezes
+	TieredCompactions     int64 `json:"tiered_compactions"`      // cold-tier rewrites
+	TieredSpillProbes     int64 `json:"tiered_spill_probes"`     // cold buckets scanned by queries
+	TieredPostingsScanned int64 `json:"tiered_postings_scanned"` // cold postings records scored
+	TieredBytesScanned    int64 `json:"tiered_bytes_scanned"`    // cold bytes touched by queries
+	TieredWatermark       int   `json:"tiered_watermark"`        // hot-tier bound (0 = manual migration)
 
 	// Read-path cache tiers (see DESIGN.md, "Read-path caching"). Zeroes
 	// when a tier is disabled.

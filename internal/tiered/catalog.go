@@ -1,0 +1,107 @@
+package tiered
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Catalog format ("FASTTCT1"), all integers little-endian:
+//
+//	magic[8] version:u32 m:u32 k:u32 bands:u32 seedFP:u64 nextSeq:u64
+//	segCount:u32 tombCount:u32
+//	segCount × (seq:u64 entries:u64)
+//	tombCount × id:u64          (sorted ascending)
+//	crc:u32                     (CRC-32C over everything before it)
+//
+// The catalog is the cold tier's single point of truth: the ordered list of
+// live segments (later segments override earlier ones for duplicated ids)
+// and the tombstone set of cold ids deleted since their segment was
+// written. It is tiny and rewritten whole through store.Generations, so
+// every catalog mutation inherits the snapshot machinery's crash-safety and
+// generation fallback.
+const (
+	catMagic   = "FASTTCT1"
+	catVersion = 1
+)
+
+type catSeg struct {
+	seq     uint64
+	entries uint64
+}
+
+type catalog struct {
+	geo     geometry
+	nextSeq uint64
+	segs    []catSeg
+	tombs   []uint64
+}
+
+func (c *catalog) encode() []byte {
+	buf := make([]byte, 0, 8+4+12+8+8+8+16*len(c.segs)+8*len(c.tombs)+4)
+	var tmp [8]byte
+	le := binary.LittleEndian
+	u32 := func(v uint32) {
+		le.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	u64 := func(v uint64) {
+		le.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	buf = append(buf, catMagic...)
+	u32(catVersion)
+	u32(c.geo.m)
+	u32(c.geo.k)
+	u32(c.geo.bands)
+	u64(c.geo.seedFP)
+	u64(c.nextSeq)
+	u32(uint32(len(c.segs)))
+	u32(uint32(len(c.tombs)))
+	for _, s := range c.segs {
+		u64(s.seq)
+		u64(s.entries)
+	}
+	for _, id := range c.tombs {
+		u64(id)
+	}
+	u32(crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+func decodeCatalog(b []byte) (catalog, error) {
+	const fixed = 8 + 4 + 12 + 8 + 8 + 8 // through tombCount
+	var c catalog
+	if len(b) < fixed+4 {
+		return c, fmt.Errorf("tiered: catalog truncated (%d bytes)", len(b))
+	}
+	le := binary.LittleEndian
+	if got, want := crc32.Checksum(b[:len(b)-4], castagnoli), le.Uint32(b[len(b)-4:]); got != want {
+		return c, fmt.Errorf("tiered: catalog CRC mismatch")
+	}
+	if string(b[:8]) != catMagic {
+		return c, fmt.Errorf("tiered: catalog bad magic %q", b[:8])
+	}
+	if v := le.Uint32(b[8:]); v != catVersion {
+		return c, fmt.Errorf("tiered: catalog unsupported version %d", v)
+	}
+	c.geo = geometry{m: le.Uint32(b[12:]), k: le.Uint32(b[16:]), bands: le.Uint32(b[20:]), seedFP: le.Uint64(b[24:])}
+	c.nextSeq = le.Uint64(b[32:])
+	segCount := int(le.Uint32(b[40:]))
+	tombCount := int(le.Uint32(b[44:]))
+	if want := fixed + 16*segCount + 8*tombCount + 4; len(b) != want {
+		return c, fmt.Errorf("tiered: catalog size %d does not match header (want %d)", len(b), want)
+	}
+	off := fixed
+	c.segs = make([]catSeg, segCount)
+	for i := range c.segs {
+		c.segs[i] = catSeg{seq: le.Uint64(b[off:]), entries: le.Uint64(b[off+8:])}
+		off += 16
+	}
+	c.tombs = make([]uint64, tombCount)
+	for i := range c.tombs {
+		c.tombs[i] = le.Uint64(b[off:])
+		off += 8
+	}
+	return c, nil
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package tiered
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only mmap of a segment file. A mapping outlives the
+// file name: segments retired by compaction keep their mappings alive until
+// Store.Close so lock-free readers still holding an old view never fault —
+// POSIX keeps a mapping of an unlinked file valid until munmap, so removing
+// the retired file reclaims disk while the pages stay readable.
+type mapping struct{ data []byte }
+
+func mapFile(f *os.File, size int64) (*mapping, []byte, error) {
+	if size == 0 {
+		return &mapping{}, nil, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &mapping{data: b}, b, nil
+}
+
+func (m *mapping) close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	b := m.data
+	m.data = nil
+	return syscall.Munmap(b)
+}

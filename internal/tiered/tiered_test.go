@@ -1,0 +1,341 @@
+package tiered
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fastrepro/fast/internal/failpoint"
+)
+
+var testOpts = Options{M: 256, K: 4, Bands: 4, SeedFP: 0xfa57fa57}
+
+// testEntry builds a deterministic entry for id: words and band keys are
+// pure functions of the id so reopened state can be checked value-for-value.
+func testEntry(opts Options, id uint64) Entry {
+	words := make([]uint64, int(opts.M+63)/64)
+	for i := range words {
+		words[i] = id*0x9e3779b97f4a7c15 + uint64(i)
+	}
+	keys := make([]uint64, opts.Bands)
+	for b := range keys {
+		// Small key space so buckets genuinely collide across entries.
+		keys[b] = uint64(b)<<32 | (id % 7)
+	}
+	return Entry{ID: id, Words: words, Keys: keys}
+}
+
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	opts := testOpts
+	opts.Dir = dir
+	s, _, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func migrateIDs(t *testing.T, s *Store, ids ...uint64) {
+	t.Helper()
+	batch := make([]Entry, len(ids))
+	for i, id := range ids {
+		batch[i] = testEntry(s.opts, id)
+	}
+	if err := s.Migrate(batch); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+}
+
+// assertLive checks the view scores exactly want: every live id is found in
+// its buckets with its exact words, and nothing else passes the owner check.
+func assertLive(t *testing.T, s *Store, want ...uint64) {
+	t.Helper()
+	v := s.View()
+	if v.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(want))
+	}
+	scratch := make([]uint64, s.wordN)
+	for _, id := range want {
+		if !v.Contains(id) {
+			t.Fatalf("Contains(%d) = false", id)
+		}
+		e := testEntry(s.opts, id)
+		// Every band bucket for the id must yield the id with exact words
+		// from exactly one owning segment.
+		for b, key := range e.Keys {
+			found := false
+			for si, seg := range v.Segments() {
+				p := seg.Bucket(b, key)
+				for i := 0; i < p.Len(); i++ {
+					if p.ID(i) != id || !v.Owns(id, si) {
+						continue
+					}
+					got := p.Words(i, scratch)
+					for wi := range got {
+						if got[wi] != e.Words[wi] {
+							t.Fatalf("id %d band %d word %d = %#x, want %#x", id, b, wi, got[wi], e.Words[wi])
+						}
+					}
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("id %d not found in band %d bucket %#x", id, b, key)
+			}
+		}
+		seg, rec, ok := v.Lookup(id)
+		if !ok {
+			t.Fatalf("Lookup(%d) missed", id)
+		}
+		got := seg.RecordWords(rec, scratch)
+		for wi := range got {
+			if got[wi] != e.Words[wi] {
+				t.Fatalf("Lookup(%d) word %d = %#x, want %#x", id, wi, got[wi], e.Words[wi])
+			}
+		}
+	}
+}
+
+func TestMigrateRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1, 2, 3, 4, 5)
+	migrateIDs(t, s, 6, 7)
+	assertLive(t, s, 1, 2, 3, 4, 5, 6, 7)
+	if got := s.Stats(); got.Segments != 2 || got.Entries != 7 || got.Migrations != 2 {
+		t.Fatalf("Stats = %+v", got)
+	}
+
+	// Reopen: identical state from disk.
+	s.Close()
+	s2 := openTest(t, dir)
+	assertLive(t, s2, 1, 2, 3, 4, 5, 6, 7)
+}
+
+func TestMigrateRejects(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	migrateIDs(t, s, 1)
+	if err := s.Migrate([]Entry{testEntry(s.opts, 1)}); err == nil {
+		t.Fatal("re-migrating a live id should fail")
+	}
+	bad := testEntry(s.opts, 2)
+	bad.Words = bad.Words[:1]
+	if err := s.Migrate([]Entry{bad}); err == nil {
+		t.Fatal("wrong word count should fail")
+	}
+	bad = testEntry(s.opts, 2)
+	bad.Keys = bad.Keys[:1]
+	if err := s.Migrate([]Entry{bad}); err == nil {
+		t.Fatal("wrong key count should fail")
+	}
+}
+
+func TestDeleteTombstoneDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1, 2, 3)
+	if ok, err := s.Delete(2); err != nil || !ok {
+		t.Fatalf("Delete(2) = %v, %v", ok, err)
+	}
+	if ok, err := s.Delete(99); err != nil || ok {
+		t.Fatalf("Delete(99) = %v, %v (want miss)", ok, err)
+	}
+	assertLive(t, s, 1, 3)
+	if s.Stats().Tombstones != 1 {
+		t.Fatalf("Tombstones = %d, want 1", s.Stats().Tombstones)
+	}
+
+	s.Close()
+	s2 := openTest(t, dir)
+	assertLive(t, s2, 1, 3)
+
+	// A deleted id can come back via a later migration; the tombstone is
+	// cleared in the same catalog generation.
+	migrateIDs(t, s2, 2)
+	assertLive(t, s2, 1, 2, 3)
+	if s2.Stats().Tombstones != 0 {
+		t.Fatalf("Tombstones = %d after re-migrate, want 0", s2.Stats().Tombstones)
+	}
+	s2.Close()
+	s3 := openTest(t, dir)
+	assertLive(t, s3, 1, 2, 3)
+}
+
+func TestReplaceAllCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1, 2, 3)
+	migrateIDs(t, s, 4, 5)
+	if _, err := s.Delete(2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if df := s.DeadFraction(); df <= 0 {
+		t.Fatalf("DeadFraction = %v, want > 0 after delete", df)
+	}
+	old := s.View()
+
+	live := []Entry{testEntry(s.opts, 1), testEntry(s.opts, 3), testEntry(s.opts, 4), testEntry(s.opts, 5)}
+	if err := s.ReplaceAll(live); err != nil {
+		t.Fatalf("ReplaceAll: %v", err)
+	}
+	assertLive(t, s, 1, 3, 4, 5)
+	if st := s.Stats(); st.Segments != 1 || st.Tombstones != 0 || st.Compactions != 1 {
+		t.Fatalf("Stats after compaction = %+v", st)
+	}
+	if df := s.DeadFraction(); df != 0 {
+		t.Fatalf("DeadFraction = %v after compaction, want 0", df)
+	}
+	// Readers holding the pre-compaction view still scan valid memory even
+	// though the old files are unlinked.
+	for _, seg := range old.Segments() {
+		if _, err := os.Stat(seg.path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("old segment file %s still on disk", seg.path)
+		}
+		p := seg.Bucket(0, 1)
+		for i := 0; i < p.Len(); i++ {
+			_ = p.ID(i)
+			_ = p.Words(i, make([]uint64, s.wordN))
+		}
+	}
+
+	s.Close()
+	s2 := openTest(t, dir)
+	assertLive(t, s2, 1, 3, 4, 5)
+}
+
+func TestOpenSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1, 2)
+	s.Close()
+
+	// A segment written but never cataloged (death before catalog publish).
+	orphan := segPath(dir, 99)
+	if _, err := writeSegment(orphan, s.geo, []Entry{testEntry(s.opts, 42)}); err != nil {
+		t.Fatalf("writeSegment: %v", err)
+	}
+	s2 := openTest(t, dir)
+	assertLive(t, s2, 1, 2)
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan segment not swept at open")
+	}
+}
+
+func TestOpenRejectsGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1)
+	s.Close()
+
+	opts := testOpts
+	opts.Dir = dir
+	opts.Bands = 8
+	if _, _, err := Open(opts); err == nil {
+		t.Fatal("Open with mismatched bands should fail")
+	}
+	opts = testOpts
+	opts.Dir = dir
+	opts.SeedFP = 1
+	if _, _, err := Open(opts); err == nil {
+		t.Fatal("Open with mismatched seed fingerprint should fail")
+	}
+}
+
+func TestCorruptSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1, 2, 3)
+	seg := s.View().Segments()[0].path
+	s.Close()
+
+	// Flip a byte in the postings region: body CRC must reject the segment,
+	// and with the only catalog generation referencing it, open fails loudly
+	// rather than serving corrupt summaries.
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xff
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts
+	opts.Dir = dir
+	if _, _, err := Open(opts); err == nil {
+		t.Fatal("Open over a corrupt segment should fail")
+	}
+}
+
+func TestCatalogGenerationsFallback(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1, 2)
+	migrateIDs(t, s, 3) // second catalog generation
+	s.Close()
+
+	// Corrupt the primary catalog: recovery falls back to the previous
+	// generation, which describes the state before the last migration. The
+	// segment the lost generation added is swept as an orphan.
+	cat := filepath.Join(dir, "catalog.fast")
+	raw, err := os.ReadFile(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(cat, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir)
+	assertLive(t, s2, 1, 2)
+	if got := len(s2.View().Segments()); got != 1 {
+		t.Fatalf("segments after fallback = %d, want 1", got)
+	}
+}
+
+func TestMigrateFailpointCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	migrateIDs(t, s, 1, 2)
+
+	// Torn segment write: the temp never renames, nothing changes.
+	failpoint.Enable(failpoint.TieredSegmentWrite, failpoint.Policy{Action: failpoint.PartialWrite, Bytes: 32})
+	err := s.Migrate([]Entry{testEntry(s.opts, 3)})
+	failpoint.Reset()
+	if err == nil {
+		t.Fatal("Migrate under PartialWrite should fail")
+	}
+	assertLive(t, s, 1, 2)
+
+	// Death between segment publish and catalog publish: the migration
+	// fails, the view is unchanged, and the durable-but-unreferenced
+	// segment is reclaimed at the next open.
+	failpoint.Enable(failpoint.TieredSegmentPublish, failpoint.Policy{Action: failpoint.Error})
+	err = s.Migrate([]Entry{testEntry(s.opts, 3)})
+	failpoint.Reset()
+	if err == nil {
+		t.Fatal("Migrate under publish failpoint should fail")
+	}
+	assertLive(t, s, 1, 2)
+	s.Close()
+
+	s2 := openTest(t, dir)
+	assertLive(t, s2, 1, 2)
+	// The retry after "recovery" succeeds and reuses the sequence number.
+	migrateIDs(t, s2, 3)
+	assertLive(t, s2, 1, 2, 3)
+
+	// No stray files: every .fastseg on disk is referenced.
+	known := make(map[string]bool)
+	for _, seg := range s2.View().Segments() {
+		known[filepath.Base(seg.path)] = true
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "seg-*"+segSuffix))
+	for _, m := range matches {
+		if !known[filepath.Base(m)] {
+			t.Fatalf("unreferenced segment file %s", m)
+		}
+	}
+}
