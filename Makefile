@@ -113,9 +113,9 @@ fuzz:
 # detector.
 soak:
 	$(GO) test -race -count=3 ./internal/failpoint/
-	$(GO) test -race -count=3 -timeout=20m \
-		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport|Interleaving|Churn|Interrupted|Fanout|PartialAndQuorum' \
-		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/ ./internal/router/ ./internal/tiered/
+	$(GO) test -race -count=3 -timeout=30m \
+		-run='CrashRecovery|Generations|Injected|Recovery|Retry|Deadline|Transport|Interleaving|Churn|Interrupted|Fanout|PartialAndQuorum|Replica|RingUpdate|RingTransition' \
+		./internal/core/ ./internal/store/ ./internal/cuckoo/ ./internal/client/ ./internal/router/ ./internal/replica/ ./internal/tiered/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

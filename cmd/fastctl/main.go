@@ -72,6 +72,9 @@ func main() {
 		case "catchup":
 			runCatchUp(os.Args[2:])
 			return
+		case "ring-update":
+			runRingUpdate(os.Args[2:])
+			return
 		case "insert":
 			runInsert(os.Args[2:])
 			return

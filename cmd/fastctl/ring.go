@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/fastrepro/fast/internal/client"
+	"github.com/fastrepro/fast/internal/placement"
+	"github.com/fastrepro/fast/internal/replica"
+	"github.com/fastrepro/fast/internal/server"
+)
+
+// runRingUpdate implements `fastctl ring-update`: drive a live placement
+// change across a running cluster with no restarts and no identity
+// violations. The command speaks the /v1/ring protocol — router prepare
+// (double-read under both rings), shard prepares (each shard acquires its
+// newly owned photos from peers in the background), a cluster-wide
+// readiness barrier, then shard commits (shed + swap) and the router
+// commit that resumes single-ring routing under the new epoch.
+//
+//	fastctl ring-update -router http://127.0.0.1:8210 \
+//	  -shards http://127.0.0.1:8201,http://127.0.0.1:8202,http://127.0.0.1:8203 \
+//	  -epoch 2 -placement-seed 42 -replicas 2
+//
+// The new epoch must advance past the cluster's current one. Every phase
+// is idempotent, so re-running the same command after a failure resumes
+// the update rather than corrupting it; `-abort` rolls a prepared but
+// uncommitted update back instead.
+func runRingUpdate(args []string) {
+	fs := flag.NewFlagSet("ring-update", flag.ExitOnError)
+	var (
+		routerURL = fs.String("router", "", "fastrouter base URL (omit for a router-less cluster)")
+		shards    = fs.String("shards", "", "comma-separated shard base URLs, in shard-index order (required)")
+		vnodes    = fs.Int("placement-vnodes", placement.DefaultVNodes, "virtual nodes per shard on the new ring")
+		seed      = fs.Uint64("placement-seed", 0, "hash seed of the new ring")
+		epoch     = fs.Uint64("epoch", 0, "epoch of the new ring (must advance past the current one; required)")
+		replicas  = fs.Int("replicas", 1, "replica factor of the new ring")
+		abort     = fs.Bool("abort", false, "abort a prepared but uncommitted ring update instead")
+		poll      = fs.Duration("poll", 200*time.Millisecond, "shard readiness polling interval")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "bound on the whole update")
+	)
+	fs.Parse(args)
+
+	var shardClients []*client.Client
+	for _, u := range strings.Split(*shards, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		shardClients = append(shardClients, adminClient(u, *timeout))
+	}
+	if len(shardClients) == 0 {
+		log.Fatal("fastctl ring-update: need -shards: comma-separated shard base URLs")
+	}
+	var routerClient *client.Client
+	if *routerURL != "" {
+		routerClient = adminClient(*routerURL, *timeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *abort {
+		if err := abortRingUpdate(ctx, routerClient, shardClients); err != nil {
+			log.Fatalf("fastctl ring-update: %v", err)
+		}
+		fmt.Println("ring-update: aborted on every node")
+		return
+	}
+	if *epoch == 0 {
+		log.Fatal("fastctl ring-update: need -epoch > 0 (the new ring's epoch, advancing past the current one)")
+	}
+
+	t0 := time.Now()
+	rep, err := replica.RingUpdate(ctx, replica.RingUpdateOptions{
+		Router: routerClient,
+		Shards: shardClients,
+		Ring: placement.Config{
+			Shards: len(shardClients),
+			VNodes: *vnodes,
+			Seed:   *seed,
+			Epoch:  *epoch,
+		},
+		Replicas:     *replicas,
+		PollInterval: *poll,
+	})
+	if err != nil {
+		log.Fatalf("fastctl ring-update: %v (phases are idempotent: re-run to resume, or -abort to roll back)", err)
+	}
+	acquired, shed := 0, 0
+	for i := range rep.Acquired {
+		acquired += rep.Acquired[i]
+		shed += rep.Shed[i]
+	}
+	fmt.Printf("ring-update: epoch %d (fingerprint %016x, rf=%d) live on %d shards in %v; %d photos acquired, %d shed\n",
+		rep.Epoch, rep.Fingerprint, rep.Replicas, len(shardClients), time.Since(t0).Round(time.Millisecond), acquired, shed)
+	for i := range rep.Acquired {
+		fmt.Printf("  shard %d: +%d acquired, -%d shed\n", i, rep.Acquired[i], rep.Shed[i])
+	}
+}
+
+// abortRingUpdate rolls a prepared update back: router first (so
+// double-write stops targeting the abandoned ring), then every shard.
+func abortRingUpdate(ctx context.Context, routerClient *client.Client, shards []*client.Client) error {
+	req := server.RingUpdateRequest{Phase: "abort"}
+	if routerClient != nil {
+		if _, err := routerClient.RingPhase(ctx, req); err != nil {
+			return fmt.Errorf("router abort: %w", err)
+		}
+	}
+	for i, sc := range shards {
+		if _, err := sc.RingPhase(ctx, req); err != nil {
+			return fmt.Errorf("shard %d abort: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -42,12 +42,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/fastrepro/fast/internal/chunk"
 	"github.com/fastrepro/fast/internal/core"
 	"github.com/fastrepro/fast/internal/placement"
+	"github.com/fastrepro/fast/internal/replica"
 	"github.com/fastrepro/fast/internal/server"
 	"github.com/fastrepro/fast/internal/store"
 	"github.com/fastrepro/fast/internal/workload"
@@ -78,6 +80,10 @@ func main() {
 		shardCount  = flag.Int("shard-count", 0, "cluster shard mode: total shard count (required with -shard-index)")
 		vnodes      = flag.Int("placement-vnodes", placement.DefaultVNodes, "placement ring virtual nodes per shard (must match the router's)")
 		placeSeed   = flag.Uint64("placement-seed", 0, "placement ring hash seed (must match the router's)")
+		placeEpoch  = flag.Uint64("placement-epoch", 0, "placement ring epoch (live ring updates must advance past it)")
+		replicas    = flag.Int("replicas", 1, "cluster shard mode: replica factor n — this shard keeps every photo whose n-owner set it belongs to")
+		peers       = flag.String("peers", "", "cluster shard mode: comma-separated peer shard base URLs, indexed by shard number (enables live ring migration)")
+		scratchDir  = flag.String("migrate-scratch", "", "scratch directory for chunk-diff peer fetches during ring migration (empty = stream full snapshots)")
 		groupExpand = flag.Int("group-expand", 0, "engine group expansion for synthetic bootstraps (0 = engine default, negative disables; forced off in shard mode)")
 		coldDir     = flag.String("cold-dir", "", "directory for the disk-resident cold index tier (empty = all-RAM engine)")
 		coldWM      = flag.Int("cold-watermark", 0, "hot-tier entry bound: the background compactor migrates entries beyond it to the cold tier (0 = manual migration only)")
@@ -105,8 +111,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var shardCfg *server.ShardConfig
 	if shardMode {
-		ring, err := placement.New(placement.Config{Shards: *shardCount, VNodes: *vnodes, Seed: *placeSeed})
+		if *replicas < 1 || *replicas > *shardCount {
+			log.Fatalf("-replicas %d must be in [1, shard-count]", *replicas)
+		}
+		ringCfg := placement.Config{Shards: *shardCount, VNodes: *vnodes, Seed: *placeSeed, Epoch: *placeEpoch}
+		ring, err := placement.New(ringCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,17 +128,21 @@ func main() {
 		// Dropping non-owned photos from a common corpus (instead of
 		// building an independent index per shard) keeps the trained PCA
 		// basis — and therefore every score — identical across shards.
-		dropped := 0
-		for _, id := range eng.IDs() {
-			if ring.Owner(id) != *shardIndex {
-				if err := eng.Delete(id); err != nil {
-					log.Fatalf("shard subset: deleting %d: %v", id, err)
-				}
-				dropped++
-			}
+		// Ownership is Owners(id, replicas) membership, NOT primacy: with
+		// -replicas n > 1 this shard also keeps the photos it backs up, the
+		// copies replica reads and fail-over answers are served from.
+		kept, dropped, err := replica.Subset(eng, ring, *replicas, *shardIndex)
+		if err != nil {
+			log.Fatalf("shard subset: %v", err)
 		}
-		log.Printf("shard %d/%d: owns %d photos (dropped %d non-owned, ring fingerprint %016x)",
-			*shardIndex, *shardCount, eng.Len(), dropped, ring.Fingerprint())
+		log.Printf("shard %d/%d rf=%d: owns %d photos (dropped %d non-owned, ring fingerprint %016x)",
+			*shardIndex, *shardCount, *replicas, kept, dropped, ring.Fingerprint())
+
+		shardCfg = &server.ShardConfig{Index: *shardIndex, Ring: ringCfg, Replicas: *replicas}
+		if *peers != "" {
+			urls := strings.Split(*peers, ",")
+			shardCfg.Fetcher = replica.NewFetcher(urls, *scratchDir)
+		}
 	}
 	// Cache tiers are serving-side configuration, not index contents, so they
 	// are applied here rather than persisted in snapshots; /v1/restore carries
@@ -176,6 +191,7 @@ func main() {
 		MaxQueue:     *maxQueue,
 		Recovery:     recovery,
 		Snapshots:    snaps,
+		Shard:        shardCfg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,22 +1,34 @@
 // Command fastrouter is the stateless front tier of a FAST cluster: it
 // holds no index, only a placement ring and a client per fastd shard.
-// Queries fan out to every shard and merge with the engine's exact result
-// ordering (byte-identical to a single node over the union corpus);
-// inserts and deletes are routed to the one shard the ring assigns the
-// photo ID.
+// Queries fan out across the ring's replica sets and merge with the
+// engine's exact result ordering (byte-identical to a single node over
+// the union corpus); inserts and deletes go synchronously to the photo's
+// primary owner and asynchronously to its replicas.
 //
-//	fastrouter -addr :8210 \
+//	fastrouter -addr :8210 -replicas 2 -read-policy round-robin \
 //	  -shards http://127.0.0.1:8201,http://127.0.0.1:8202,http://127.0.0.1:8203
 //
 // The -placement-* flags must match the ones the shards were started with
-// (fastd -shard-index/-shard-count): the ring is a pure function of
-// (shards, vnodes, seed), so agreement on the flags is agreement on
+// (fastd -shard-index/-shard-count/-replicas): the ring is a pure function
+// of (shards, vnodes, seed), so agreement on the flags is agreement on
 // placement, verifiable by comparing ring_fingerprint in /v1/stats.
 //
-// Failure semantics: a query that loses a minority of shards answers from
-// the rest with "partial": true in the response; losing a majority is a
-// 503. /healthz reflects the same quorum rule, so a load balancer fails
-// the router only when the cluster behind it is actually down.
+// Read policies (-read-policy):
+//
+//	primary      query every shard (maximum redundancy, no read scaling)
+//	round-robin  rotate a skip window of n-1 shards per query — with
+//	             replica factor n every photo still has an owner among the
+//	             queried shards, so answers stay complete and identical
+//	hedged       round-robin, plus a late fan-out to the skipped shards
+//	             when the primary wave is slow (-hedge-timeout)
+//
+// Failure semantics: with replica factor n, up to n-1 lost shards still
+// yield a complete ("partial": false) answer served from the surviving
+// replicas; beyond that the router degrades to partial answers and then
+// to 503 on majority loss. /healthz reflects the same quorum rule.
+//
+// POST /v1/ring (fastctl ring-update) drives live reconfiguration; during
+// a transition the router double-reads under both placements.
 package main
 
 import (
@@ -40,7 +52,10 @@ func main() {
 		shards       = flag.String("shards", "", "comma-separated shard base URLs, in shard-index order (required)")
 		vnodes       = flag.Int("placement-vnodes", placement.DefaultVNodes, "virtual nodes per shard on the placement ring")
 		seed         = flag.Uint64("placement-seed", 0, "placement ring hash seed (must match the shards')")
-		epoch        = flag.Uint64("placement-epoch", 0, "placement ring epoch (versioning for rolling topology changes)")
+		epoch        = flag.Uint64("placement-epoch", 0, "placement ring epoch (live ring updates must advance past it)")
+		replicas     = flag.Int("replicas", 1, "replica factor n: writes go to n owners, reads survive n-1 shard losses")
+		policy       = flag.String("read-policy", "primary", "replica read policy: primary, round-robin, or hedged")
+		hedgeTimeout = flag.Duration("hedge-timeout", 0, "hedged policy: wait this long before fanning out to skipped shards (0 = shard-timeout/4)")
 		shardTimeout = flag.Duration("shard-timeout", 2*time.Second, "per-shard call timeout")
 		topKLimit    = flag.Int("topk-limit", 0, "per-query result budget cap (0 = serving default)")
 	)
@@ -55,12 +70,16 @@ func main() {
 		}
 		// One quick retry on backpressure; the router's own degradation
 		// logic, not the client's backoff, is the failure handler here.
-		backends = append(backends, client.New(u, client.WithRetries(1, 50*time.Millisecond)))
+		backends = append(backends, router.NewClientBackend(client.New(u, client.WithRetries(1, 50*time.Millisecond))))
 	}
 	if len(backends) == 0 {
 		log.Fatal("need -shards: comma-separated shard base URLs")
 	}
 
+	pol, err := router.ParseReadPolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ring, err := placement.New(placement.Config{
 		Shards: len(backends),
 		VNodes: *vnodes,
@@ -73,15 +92,19 @@ func main() {
 	rt, err := router.New(router.Config{
 		Shards:       backends,
 		Ring:         ring,
+		Replicas:     *replicas,
+		Policy:       pol,
+		HedgeTimeout: *hedgeTimeout,
 		ShardTimeout: *shardTimeout,
 		TopKLimit:    *topKLimit,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt.Close()
 
-	log.Printf("routing %d shards on %s (ring fingerprint %016x, %d vnodes/shard, shard timeout %v)",
-		len(backends), *addr, ring.Fingerprint(), *vnodes, *shardTimeout)
+	log.Printf("routing %d shards on %s (rf=%d, policy=%s, ring fingerprint %016x, %d vnodes/shard, shard timeout %v)",
+		len(backends), *addr, *replicas, pol, ring.Fingerprint(), *vnodes, *shardTimeout)
 	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

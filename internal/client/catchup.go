@@ -23,23 +23,8 @@ import (
 // shards inside quorum, so the results cover the reachable shards only.
 // Against a single fastd it is always false.
 func (c *Client) QueryDetailed(ctx context.Context, img *simimg.Image, topK int) ([]core.SearchResult, bool, error) {
-	wi, err := server.EncodeImage(img)
-	if err != nil {
-		return nil, false, err
-	}
-	payload, err := marshalJSON(server.QueryRequest{Image: wi, TopK: topK})
-	if err != nil {
-		return nil, false, err
-	}
-	var out server.QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/query", payload, "application/json", &out); err != nil {
-		return nil, false, err
-	}
-	results := make([]core.SearchResult, len(out.Results))
-	for i, r := range out.Results {
-		results[i] = core.SearchResult{ID: r.ID, Score: r.Score}
-	}
-	return results, out.Partial, nil
+	results, out, err := c.QueryFull(ctx, img, topK)
+	return results, out.Partial, err
 }
 
 // SnapshotSave asks the server to persist its engine into its generation

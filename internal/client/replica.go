@@ -1,0 +1,90 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/fastrepro/fast/internal/core"
+	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// Replica-aware client surface: the epoch-carrying variants the cluster
+// router's freshness tracking consumes, plus the /v1/ring wire the live
+// reconfiguration driver speaks. The plain Query/Insert/Delete methods
+// stay unchanged for callers that don't do replica bookkeeping.
+
+// QueryFull runs one probe and returns the decoded results together with
+// the complete wire response (partial/stale flags, freshness epoch).
+func (c *Client) QueryFull(ctx context.Context, img *simimg.Image, topK int) ([]core.SearchResult, server.QueryResponse, error) {
+	wi, err := server.EncodeImage(img)
+	if err != nil {
+		return nil, server.QueryResponse{}, err
+	}
+	payload, err := marshalJSON(server.QueryRequest{Image: wi, TopK: topK})
+	if err != nil {
+		return nil, server.QueryResponse{}, err
+	}
+	var out server.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", payload, "application/json", &out); err != nil {
+		return nil, server.QueryResponse{}, err
+	}
+	results := make([]core.SearchResult, len(out.Results))
+	for i, r := range out.Results {
+		results[i] = core.SearchResult{ID: r.ID, Score: r.Score}
+	}
+	return results, out, nil
+}
+
+// InsertEpoch is Insert returning the shard's post-ack published view
+// epoch — the freshness floor the router judges later answers against.
+func (c *Client) InsertEpoch(ctx context.Context, id uint64, img *simimg.Image) (uint64, error) {
+	wi, err := server.EncodeImage(img)
+	if err != nil {
+		return 0, err
+	}
+	payload, err := marshalJSON(server.InsertRequest{ID: id, Image: wi})
+	if err != nil {
+		return 0, err
+	}
+	var ok server.OKResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/insert", payload, "application/json", &ok); err != nil {
+		return 0, err
+	}
+	return ok.Epoch, nil
+}
+
+// DeleteEpoch is Delete returning the shard's post-ack published view epoch.
+func (c *Client) DeleteEpoch(ctx context.Context, id uint64) (uint64, error) {
+	payload, err := marshalJSON(server.DeleteRequest{ID: id})
+	if err != nil {
+		return 0, err
+	}
+	var ok server.OKResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/delete", payload, "application/json", &ok); err != nil {
+		return 0, err
+	}
+	return ok.Epoch, nil
+}
+
+// RingStatus fetches the node's placement state (shard or router).
+func (c *Client) RingStatus(ctx context.Context) (server.RingStatusResponse, error) {
+	var st server.RingStatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/ring", nil, "", &st)
+	return st, err
+}
+
+// RingPhase executes one live-reconfiguration phase (prepare, commit or
+// abort) against the node. Phases are idempotent on the server side, so
+// the client's normal backpressure retries are safe.
+func (c *Client) RingPhase(ctx context.Context, req server.RingUpdateRequest) (server.RingStatusResponse, error) {
+	payload, err := marshalJSON(req)
+	if err != nil {
+		return server.RingStatusResponse{}, err
+	}
+	var st server.RingStatusResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ring", payload, "application/json", &st); err != nil {
+		return server.RingStatusResponse{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// cloneViaSnapshot round-trips an engine through its serialized form,
+// producing an independent engine sharing the same trained basis — the
+// exact relationship two cluster shards have.
+func cloneViaSnapshot(t *testing.T, e *Engine) *Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	cp, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatalf("ReadEngine: %v", err)
+	}
+	return cp
+}
+
+// TestSummaryTransferByteIdentical moves entries between engines via
+// SummaryOf/InsertSummary and checks the receiver answers queries
+// byte-identically to an engine that indexed the photos natively.
+func TestSummaryTransferByteIdentical(t *testing.T) {
+	ds := testDatasetCached(t)
+	oracle := builtEngine(t, ds) // indexed everything natively
+
+	// The receiver starts as a clone missing the back half of the corpus.
+	donor := cloneViaSnapshot(t, oracle)
+	recv := cloneViaSnapshot(t, oracle)
+	half := len(ds.Photos) / 2
+	for _, p := range ds.Photos[half:] {
+		if err := recv.Delete(p.ID); err != nil {
+			t.Fatalf("Delete(%d): %v", p.ID, err)
+		}
+	}
+
+	// Adopt the missing entries from the donor, summaries only.
+	for _, p := range ds.Photos[half:] {
+		sp, ok := donor.SummaryOf(p.ID)
+		if !ok {
+			t.Fatalf("SummaryOf(%d): absent from donor", p.ID)
+		}
+		// Mutating the returned copy must not corrupt the donor.
+		if len(sp.Bits) > 0 {
+			save := sp.Bits[0]
+			sp.Bits[0] ^= 0xfff
+			again, _ := donor.SummaryOf(p.ID)
+			if len(again.Bits) > 0 && again.Bits[0] != save {
+				t.Fatal("SummaryOf returned a summary aliasing donor storage")
+			}
+			sp.Bits[0] = save
+		}
+		if err := recv.InsertSummary(p.ID, sp); err != nil {
+			t.Fatalf("InsertSummary(%d): %v", p.ID, err)
+		}
+	}
+	if recv.Len() != oracle.Len() {
+		t.Fatalf("receiver has %d photos, want %d", recv.Len(), oracle.Len())
+	}
+
+	for qi, p := range ds.Photos {
+		if qi%7 != 0 {
+			continue
+		}
+		want, err := oracle.Query(p.Img, 20)
+		if err != nil {
+			t.Fatalf("oracle query: %v", err)
+		}
+		got, err := recv.Query(p.Img, 20)
+		if err != nil {
+			t.Fatalf("receiver query: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", p.ID, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: got %+v, want %+v", p.ID, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Duplicate adoption must be refused, not silently doubled.
+	sp, _ := donor.SummaryOf(ds.Photos[0].ID)
+	if err := recv.InsertSummary(ds.Photos[0].ID, sp); err == nil {
+		t.Fatal("InsertSummary of an already-indexed id should fail")
+	}
+	if _, ok := oracle.SummaryOf(^uint64(0)); ok {
+		t.Fatal("SummaryOf of an absent id should report false")
+	}
+	if err := recv.InsertSummary(42424242, nil); err == nil {
+		t.Fatal("InsertSummary(nil) should fail")
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"github.com/fastrepro/fast/internal/core"
 	"github.com/fastrepro/fast/internal/metrics"
 	"github.com/fastrepro/fast/internal/placement"
+	"github.com/fastrepro/fast/internal/replica"
 	"github.com/fastrepro/fast/internal/router"
 	"github.com/fastrepro/fast/internal/server"
 	"github.com/fastrepro/fast/internal/store"
+	"github.com/fastrepro/fast/internal/workload"
 )
 
 // clusterShards is the topology the experiment measures: small enough to
@@ -56,6 +58,23 @@ type clusterReport struct {
 	// DeltaTransferPct is the incremental catch-up's wire cost as a
 	// percentage of a full snapshot transfer (the <25% acceptance gate).
 	DeltaTransferPct float64 `json:"delta_transfer_pct"`
+	// Replica tier (rf=2 over the same corpus): every read policy
+	// byte-identical to the oracle, observed read scaling under
+	// round-robin (fraction of shard queries per routed query; the
+	// theoretical floor is (S-n+1)/S), write freshness lag, live ring
+	// reconfiguration, and fail-over with a full (non-partial) answer.
+	ReplicaFactor         int      `json:"replica_factor"`
+	ReplicaPoliciesExact  []string `json:"replica_policies_exact"`
+	RoundRobinShardFrac   float64  `json:"round_robin_shard_fraction"`
+	ReplicaRRP50Ns        int64    `json:"replica_rr_p50_ns"`
+	ReplicaRRP99Ns        int64    `json:"replica_rr_p99_ns"`
+	ReplicaInserts        int      `json:"replica_inserts"`
+	ReplicaLagPending     int64    `json:"replica_lag_pending"`
+	ReplicaQuiesceNs      int64    `json:"replica_quiesce_ns"`
+	RingUpdateVerified    bool     `json:"ring_update_identity"`
+	RingUpdateAcquired    int      `json:"ring_update_acquired"`
+	RingUpdateShed        int      `json:"ring_update_shed"`
+	ReplicaKillFullAnswer bool     `json:"replica_kill_full_answer"`
 }
 
 // RunCluster measures the multi-node tier end to end, over real HTTP:
@@ -143,7 +162,7 @@ func RunCluster(e *Env) error {
 		defer ts.Close()
 		shardSrvs[s] = ts
 		shardEngines[s] = eng
-		backends[s] = client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetries(1, 10*time.Millisecond))
+		backends[s] = router.NewClientBackend(client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetries(1, 10*time.Millisecond)))
 	}
 
 	// The single-node oracle also serves over HTTP so both sides of the
@@ -160,6 +179,7 @@ func RunCluster(e *Env) error {
 	if err != nil {
 		return err
 	}
+	defer rt.Close()
 	routerTS := httptest.NewServer(rt.Handler())
 	defer routerTS.Close()
 	routerClient := client.New(routerTS.URL, client.WithHTTPClient(routerTS.Client()))
@@ -271,13 +291,13 @@ func RunCluster(e *Env) error {
 		return err
 	}
 
-	replica := &store.Generations{
+	replStore := &store.Generations{
 		Path:    filepath.Join(scratch, "replica.fast"),
 		Chunked: true,
 		CDC:     snapshotCDC,
 		Keep:    2,
 	}
-	cold, err := pc.CatchUp(ctx, replica)
+	cold, err := pc.CatchUp(ctx, replStore)
 	if err != nil {
 		return fmt.Errorf("experiments: cold catch-up: %w", err)
 	}
@@ -302,7 +322,7 @@ func RunCluster(e *Env) error {
 	if _, err := pc.SnapshotSave(ctx); err != nil {
 		return err
 	}
-	delta, err := pc.CatchUp(ctx, replica)
+	delta, err := pc.CatchUp(ctx, replStore)
 	if err != nil {
 		return fmt.Errorf("experiments: incremental catch-up: %w", err)
 	}
@@ -317,7 +337,7 @@ func RunCluster(e *Env) error {
 
 	// The caught-up replica must recover to the primary's exact answers.
 	var restored *core.Engine
-	if _, err := replica.Recover(func(_ string, r io.Reader) error {
+	if _, err := replStore.Recover(func(_ string, r io.Reader) error {
 		re, err := core.ReadEngine(r)
 		if err != nil {
 			return err
@@ -364,10 +384,339 @@ func RunCluster(e *Env) error {
 			report.ChurnPct, report.DeltaTransferPct)
 	}
 
+	// --- replica tier: rf=2 read scaling, freshness, live reconfiguration ---
+	if err := clusterReplicaTier(e, w, ds, union.Bytes(), qs, oracleClient, &report); err != nil {
+		return err
+	}
+
 	path := filepath.Join(e.Opts().ArtifactDir, "BENCH_cluster.json")
 	if err := writeJSONReport(path, report); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\n(routed answers byte-identical over the wire; degradation and quorum verified;\n%s;\nmachine-readable report written to %s)\n", gateNote, path)
+	return nil
+}
+
+// clusterReplicaTier measures the replica-aware read path over real HTTP:
+// an rf=2 cluster of clusterShards shards over the same union corpus,
+// checked for byte-identity under every read policy, observed read
+// scaling under round-robin, replicated-write freshness, a live ring
+// update under continuous query load, and — last, because it kills a
+// shard — a full (non-partial) fail-over answer.
+func clusterReplicaTier(e *Env, w io.Writer, ds *workload.Dataset, union []byte, qs []workload.Query, oracleClient *client.Client, report *clusterReport) error {
+	const rf = 2
+	const topK = 40
+	ctx := context.Background()
+	report.ReplicaFactor = rf
+
+	ringCfg := placement.Config{Shards: clusterShards, VNodes: placement.DefaultVNodes, Seed: uint64(e.Opts().Seed), Epoch: 1}
+	ring, err := placement.New(ringCfg)
+	if err != nil {
+		return err
+	}
+
+	// Shard engines are clones of the union oracle subset by Owners(id, rf)
+	// membership — each photo lives on rf shards, exactly what fastd
+	// -replicas boots. The peer fetcher resolves lazily over the client
+	// slice because the servers exist before their URLs do.
+	shardTS := make([]*httptest.Server, clusterShards)
+	shardClients := make([]*client.Client, clusterShards)
+	backends := make([]router.Backend, clusterShards)
+	fetcher := &replica.Fetcher{Resolve: func(shard int) (*client.Client, error) {
+		if shard < 0 || shard >= len(shardClients) || shardClients[shard] == nil {
+			return nil, fmt.Errorf("no peer client for shard %d", shard)
+		}
+		return shardClients[shard], nil
+	}}
+	copies := 0
+	for s := 0; s < clusterShards; s++ {
+		eng, err := core.ReadEngine(bytes.NewReader(union))
+		if err != nil {
+			return err
+		}
+		kept, _, err := replica.Subset(eng, ring, rf, s)
+		if err != nil {
+			return err
+		}
+		copies += kept
+		srv, err := server.New(server.Config{
+			Engine: eng,
+			Shard:  &server.ShardConfig{Index: s, Ring: ringCfg, Replicas: rf, Fetcher: fetcher},
+		})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		shardTS[s] = ts
+		shardClients[s] = client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+		backends[s] = router.NewClientBackend(client.New(ts.URL, client.WithHTTPClient(ts.Client()), client.WithRetries(1, 10*time.Millisecond)))
+	}
+	if copies != rf*len(ds.Photos) {
+		return fmt.Errorf("experiments: rf=%d subsetting left %d photo copies, want %d", rf, copies, rf*len(ds.Photos))
+	}
+	fmt.Fprintf(w, "[cluster] replica tier rf=%d: %d photo copies across %d shards\n", rf, copies, clusterShards)
+
+	sumShardQueries := func() (int64, error) {
+		var sum int64
+		for _, sc := range shardClients {
+			st, err := sc.Stats(ctx)
+			if err != nil {
+				return 0, err
+			}
+			sum += st.Queries
+		}
+		return sum, nil
+	}
+
+	// Every read policy must answer byte-identically to the oracle; the
+	// round-robin pass additionally measures read scaling: with replica
+	// factor n each query needs only S-n+1 of S shards.
+	for _, pol := range []router.ReadPolicy{router.ReadPrimary, router.ReadRoundRobin, router.ReadHedged} {
+		prt, err := router.New(router.Config{Shards: backends, Ring: ring, Replicas: rf, Policy: pol, ShardTimeout: 10 * time.Second})
+		if err != nil {
+			return err
+		}
+		pts := httptest.NewServer(prt.Handler())
+		pclient := client.New(pts.URL, client.WithHTTPClient(pts.Client()))
+		before, err := sumShardQueries()
+		if err != nil {
+			return err
+		}
+		lat := metrics.NewLatency()
+		for qi, q := range qs {
+			want, err := oracleClient.Query(ctx, q.Probe, topK)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			got, resp, err := pclient.QueryFull(ctx, q.Probe, topK)
+			if err != nil {
+				return fmt.Errorf("experiments: %s query %d: %w", pol, qi, err)
+			}
+			lat.Record(time.Since(t0))
+			if resp.Partial || resp.Stale {
+				return fmt.Errorf("experiments: %s query %d flagged partial=%v stale=%v with all shards up", pol, qi, resp.Partial, resp.Stale)
+			}
+			if err := identicalResults(got, want); err != nil {
+				return fmt.Errorf("experiments: %s query %d: %w", pol, qi, err)
+			}
+		}
+		after, err := sumShardQueries()
+		if err != nil {
+			return err
+		}
+		frac := float64(after-before) / float64(len(qs)*clusterShards)
+		if pol == router.ReadRoundRobin {
+			report.RoundRobinShardFrac = frac
+			ls := lat.Summarize()
+			report.ReplicaRRP50Ns, report.ReplicaRRP99Ns = ls.Median.Nanoseconds(), ls.P99.Nanoseconds()
+			// The theoretical per-query fan-out floor is (S-rf+1)/S; a
+			// fraction near 1.0 would mean no read scaling happened.
+			if frac > float64(clusterShards-rf+1)/float64(clusterShards)+0.1 {
+				return fmt.Errorf("experiments: round-robin queried %.2f of shards per read, expected ~%.2f",
+					frac, float64(clusterShards-rf+1)/float64(clusterShards))
+			}
+		}
+		report.ReplicaPoliciesExact = append(report.ReplicaPoliciesExact, string(pol))
+		fmt.Fprintf(w, "[cluster] policy %-11s: %d queries byte-identical (%.2f shard queries/query, p50 %s)\n",
+			pol, len(qs), frac, fmtDur(lat.Summarize().Median))
+		pts.Close()
+		prt.Close()
+	}
+
+	// The long-lived round-robin router carries the write, reconfiguration
+	// and fail-over phases.
+	rrt, err := router.New(router.Config{Shards: backends, Ring: ring, Replicas: rf, Policy: router.ReadRoundRobin, ShardTimeout: 10 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer rrt.Close()
+	rrtTS := httptest.NewServer(rrt.Handler())
+	defer rrtTS.Close()
+	rrtClient := client.New(rrtTS.URL, client.WithHTTPClient(rrtTS.Client()))
+
+	// Replicated writes: each insert goes synchronously to its primary and
+	// asynchronously to its replica; the freshness lag (pending applies) is
+	// observable in stats and drains to zero on quiesce.
+	const replicaInserts = 10
+	for i := 0; i < replicaInserts; i++ {
+		p := ds.FreshPhoto(8_000_000+uint64(i), int64(4000+i))
+		if err := rrtClient.Insert(ctx, p.ID, p.Img); err != nil {
+			return fmt.Errorf("experiments: replicated insert %d: %w", p.ID, err)
+		}
+		if err := oracleClient.Insert(ctx, p.ID, p.Img); err != nil {
+			return err
+		}
+	}
+	report.ReplicaInserts = replicaInserts
+	report.ReplicaLagPending = rrt.Stats(ctx).AsyncPending
+	t0 := time.Now()
+	qctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = rrt.QuiesceReplicas(qctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("experiments: quiescing replica applies: %w", err)
+	}
+	report.ReplicaQuiesceNs = time.Since(t0).Nanoseconds()
+	wantCopies := rf * (len(ds.Photos) + replicaInserts)
+	var have int
+	for _, sc := range shardClients {
+		st, err := sc.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		have += st.Photos
+	}
+	if have != wantCopies {
+		return fmt.Errorf("experiments: after replicated writes the cluster holds %d photo copies, want %d", have, wantCopies)
+	}
+	fmt.Fprintf(w, "[cluster] %d replicated inserts: lag %d pending, quiesced in %s, every photo on %d shards\n",
+		replicaInserts, report.ReplicaLagPending, fmtDur(time.Duration(report.ReplicaQuiesceNs)), rf)
+
+	// Live ring update under continuous query load: a new seed reshuffles
+	// placement while a background prober demands full, fresh,
+	// byte-identical answers the whole time. The router double-reads during
+	// the transition and every shard acquires before any shard sheds, so
+	// no probe may ever see an identity violation.
+	stopLoad := make(chan struct{})
+	loadErr := make(chan error, 1)
+	loadDone := make(chan struct{})
+	var loadQueries int
+	go func() {
+		defer close(loadDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			q := qs[i%len(qs)]
+			want, err := oracleClient.Query(ctx, q.Probe, topK)
+			if err != nil {
+				loadErr <- err
+				return
+			}
+			got, resp, err := rrtClient.QueryFull(ctx, q.Probe, topK)
+			if err != nil {
+				loadErr <- fmt.Errorf("mid-update query: %w", err)
+				return
+			}
+			if resp.Partial || resp.Stale {
+				loadErr <- fmt.Errorf("mid-update query flagged partial=%v stale=%v", resp.Partial, resp.Stale)
+				return
+			}
+			if err := identicalResults(got, want); err != nil {
+				loadErr <- fmt.Errorf("mid-update identity violation: %w", err)
+				return
+			}
+			loadQueries++
+		}
+	}()
+	next := ringCfg
+	next.Seed = ringCfg.Seed + 9157
+	next.Epoch = 2
+	rep, uerr := replica.RingUpdate(ctx, replica.RingUpdateOptions{
+		Router:       rrtClient,
+		Shards:       shardClients,
+		Ring:         next,
+		Replicas:     rf,
+		PollInterval: 20 * time.Millisecond,
+	})
+	close(stopLoad)
+	<-loadDone
+	select {
+	case lerr := <-loadErr:
+		return fmt.Errorf("experiments: query load during ring update: %w", lerr)
+	default:
+	}
+	if uerr != nil {
+		return fmt.Errorf("experiments: ring update: %w", uerr)
+	}
+	for i := range rep.Acquired {
+		report.RingUpdateAcquired += rep.Acquired[i]
+		report.RingUpdateShed += rep.Shed[i]
+	}
+	// Post-update invariants: the new epoch is live everywhere, the copy
+	// count is unchanged, and answers are still byte-identical.
+	if st := rrt.Stats(ctx); st.RingEpoch != next.Epoch || st.RingTransition {
+		return fmt.Errorf("experiments: router did not land on epoch %d (epoch %d, transition %v)", next.Epoch, st.RingEpoch, st.RingTransition)
+	}
+	have = 0
+	for s, sc := range shardClients {
+		rst, err := sc.RingStatus(ctx)
+		if err != nil {
+			return err
+		}
+		if rst.State != "steady" || rst.Current.Epoch != next.Epoch {
+			return fmt.Errorf("experiments: shard %d post-update state %q epoch %d", s, rst.State, rst.Current.Epoch)
+		}
+		st, err := sc.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		have += st.Photos
+	}
+	if have != wantCopies {
+		return fmt.Errorf("experiments: ring update changed the copy count: %d, want %d", have, wantCopies)
+	}
+	for qi, q := range qs {
+		want, err := oracleClient.Query(ctx, q.Probe, topK)
+		if err != nil {
+			return err
+		}
+		got, resp, err := rrtClient.QueryFull(ctx, q.Probe, topK)
+		if err != nil {
+			return fmt.Errorf("experiments: post-update query %d: %w", qi, err)
+		}
+		if resp.Partial || resp.Stale {
+			return fmt.Errorf("experiments: post-update query %d flagged partial=%v stale=%v", qi, resp.Partial, resp.Stale)
+		}
+		if err := identicalResults(got, want); err != nil {
+			return fmt.Errorf("experiments: post-update query %d: %w", qi, err)
+		}
+	}
+	report.RingUpdateVerified = true
+	fmt.Fprintf(w, "[cluster] live ring update to epoch %d under load (%d mid-update probes): %d acquired, %d shed, identity preserved\n",
+		next.Epoch, loadQueries, report.RingUpdateAcquired, report.RingUpdateShed)
+
+	// Fail-over: kill one shard. With rf=2 the survivors still hold every
+	// photo, so answers stay FULL — partial=false and byte-identical —
+	// where the rf=1 cluster above could only degrade to partial.
+	shardTS[0].Close()
+	for qi, q := range qs {
+		want, err := oracleClient.Query(ctx, q.Probe, topK)
+		if err != nil {
+			return err
+		}
+		got, resp, err := rrtClient.QueryFull(ctx, q.Probe, topK)
+		if err != nil {
+			return fmt.Errorf("experiments: query %d with a replica down: %w", qi, err)
+		}
+		if resp.Partial {
+			return fmt.Errorf("experiments: query %d flagged partial with rf=%d and one shard down", qi, rf)
+		}
+		if err := identicalResults(got, want); err != nil {
+			return fmt.Errorf("experiments: query %d with a replica down: %w", qi, err)
+		}
+	}
+	report.ReplicaKillFullAnswer = true
+	fmt.Fprintf(w, "[cluster] 1 of %d shards killed at rf=%d: %d queries still full and byte-identical\n",
+		clusterShards, rf, len(qs))
+	return nil
+}
+
+// identicalResults compares two result lists for exact equality: length,
+// IDs, bit-exact scores, order.
+func identicalResults(got, want []core.SearchResult) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d results, oracle has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("rank %d: got {%d %.17g}, oracle {%d %.17g}",
+				i+1, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
 	return nil
 }

@@ -92,4 +92,23 @@ const (
 	TieredSegmentWrite   = "tiered/segment-write"
 	TieredSegmentPublish = "tiered/segment-publish"
 	TieredMigrate        = "tiered/migrate"
+
+	// Replica-aware routing (internal/router). replica-pick fires while a
+	// read policy is choosing its target subset — Error makes the router
+	// fall back to the full all-shards fan-out (never a wrong answer, only
+	// lost read scaling). hedge fires before a hedged query launches its
+	// reserve shards — Error suppresses the hedge so the slow leg must be
+	// repaired by the failure fallback instead.
+	RouterReplicaPick = "router/replica-pick"
+	RouterHedge       = "router/hedge"
+
+	// Live ring reconfiguration (internal/server shard side). ring-install
+	// fires inside POST /v1/ring prepare before the pending ring is
+	// adopted (Error rejects the install, leaving the current epoch fully
+	// intact); migrate fires per peer inside the background acquire loop
+	// (Error fails the migration, parking the shard in state "failed"
+	// where a re-prepare restarts it — the old epoch keeps serving
+	// throughout, and commit is refused until a later attempt succeeds).
+	ShardRingInstall = "shard/ring-install"
+	ShardMigrate     = "shard/migrate"
 )

@@ -31,6 +31,7 @@ package placement
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DefaultVNodes is the virtual-node count per shard when Config.VNodes is
@@ -71,6 +72,13 @@ type Ring struct {
 	cfg    Config
 	points []point
 	fp     uint64
+
+	// windows memoizes, per replica factor, the deduplicated set of
+	// distinct n-owner sequences the ring can produce (one per ring arc).
+	// Lazily built; placement answers never depend on it, only coverage
+	// queries do, so the Ring stays logically immutable.
+	windowsMu sync.Mutex
+	windows   map[int][][]int32
 }
 
 // New builds the ring for cfg.
@@ -147,6 +155,101 @@ func (r *Ring) Owners(id uint64, n int) []int {
 		out = append(out, int(p.shard))
 	}
 	return out
+}
+
+// OwnedBy reports whether shard is one of the first n owners of id — the
+// membership test replica-factor-n nodes use to decide which entries of a
+// common corpus they keep. OwnedBy(id, 1, s) is exactly Owner(id) == s.
+func (r *Ring) OwnedBy(id uint64, n, shard int) bool {
+	for _, s := range r.Owners(id, n) {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerWindows returns the deduplicated list of distinct n-owner sets the
+// ring can produce. Every key's Owners(id, n) equals the window of the
+// arc its hash lands on, and there are at most len(points) distinct arcs,
+// so enumerating windows enumerates every possible replica set without
+// enumerating keys. Each window is returned sorted by shard.
+func (r *Ring) ownerWindows(n int) [][]int32 {
+	if n < 1 {
+		n = 1
+	}
+	if n > r.cfg.Shards {
+		n = r.cfg.Shards
+	}
+	r.windowsMu.Lock()
+	defer r.windowsMu.Unlock()
+	if w, ok := r.windows[n]; ok {
+		return w
+	}
+	seen := make(map[string]struct{})
+	var out [][]int32
+	var keyBuf []byte
+	for idx := range r.points {
+		win := make([]int32, 0, n)
+		for i := 0; i < len(r.points) && len(win) < n; i++ {
+			s := r.points[(idx+i)%len(r.points)].shard
+			dup := false
+			for _, have := range win {
+				if have == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				win = append(win, s)
+			}
+		}
+		sort.Slice(win, func(i, j int) bool { return win[i] < win[j] })
+		keyBuf = keyBuf[:0]
+		for _, s := range win {
+			keyBuf = append(keyBuf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		if _, dup := seen[string(keyBuf)]; dup {
+			continue
+		}
+		seen[string(keyBuf)] = struct{}{}
+		out = append(out, win)
+	}
+	if r.windows == nil {
+		r.windows = make(map[int][][]int32)
+	}
+	r.windows[n] = out
+	return out
+}
+
+// Covers reports whether querying exactly the shards for which have
+// returns true is guaranteed to observe every key, assuming each key is
+// stored on its n ring-order owners (Owners(id, n)). It holds iff the
+// shard set intersects every distinct n-owner window on the ring. Two
+// consequences the router relies on:
+//
+//   - Any set of Shards-n+1 shards covers (an n-owner set cannot be
+//     disjoint from it), so with replica factor n the cluster tolerates
+//     n-1 arbitrary shard losses with zero answer loss, and a read policy
+//     may deliberately skip up to n-1 shards per query for read scaling.
+//   - Covers(1, have) is true only when have includes every shard that
+//     owns at least one arc — for non-degenerate rings, all shards —
+//     matching the pre-replica rule that any failure forces a partial
+//     answer.
+func (r *Ring) Covers(n int, have func(shard int) bool) bool {
+	for _, win := range r.ownerWindows(n) {
+		hit := false
+		for _, s := range win {
+			if have(int(s)) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
 }
 
 // successor returns the index of the first point at or clockwise after h.

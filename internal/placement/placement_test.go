@@ -149,3 +149,84 @@ func TestOwnersDistinctAndOwnerFirst(t *testing.T) {
 		t.Errorf("Owners(_, 0) = %v, want nil", got)
 	}
 }
+
+// TestOwnedByMatchesOwners checks the membership helper against the
+// authoritative Owners list across shard counts and replica factors.
+func TestOwnedByMatchesOwners(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		for _, n := range []int{1, 2, 3} {
+			r, err := New(Config{Shards: shards, VNodes: 16, Seed: uint64(7*shards + n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := uint64(0); id < 200; id++ {
+				owners := r.Owners(id, n)
+				member := make(map[int]bool, len(owners))
+				for _, s := range owners {
+					member[s] = true
+				}
+				for s := 0; s < shards; s++ {
+					if got := r.OwnedBy(id, n, s); got != member[s] {
+						t.Fatalf("shards=%d n=%d id=%d shard=%d: OwnedBy=%v, Owners=%v",
+							shards, n, id, s, got, owners)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoversLemma asserts the pigeonhole guarantee replica reads build on:
+// with replica factor n, ANY subset of Shards-n+1 shards covers the whole
+// key space, while at n-1 losses plus one more some key set must go dark.
+// It also cross-checks Covers against brute force over a dense ID sample.
+func TestCoversLemma(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 6} {
+		for n := 1; n <= 3 && n <= shards; n++ {
+			r, err := New(Config{Shards: shards, VNodes: 32, Seed: uint64(13*shards + n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every subset of size shards-n+1 covers. Enumerate all subsets
+			// via bitmask (shard counts here are tiny).
+			for mask := 0; mask < 1<<shards; mask++ {
+				size := 0
+				for s := 0; s < shards; s++ {
+					if mask&(1<<s) != 0 {
+						size++
+					}
+				}
+				have := func(s int) bool { return mask&(1<<s) != 0 }
+				got := r.Covers(n, have)
+				// Brute-force ground truth over a dense sample of keys.
+				want := true
+				for id := uint64(0); id < 512; id++ {
+					hit := false
+					for _, s := range r.Owners(id, n) {
+						if have(s) {
+							hit = true
+							break
+						}
+					}
+					if !hit {
+						want = false
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("shards=%d n=%d mask=%b: Covers=%v, brute-force=%v", shards, n, mask, got, want)
+				}
+				if size >= shards-n+1 && !got {
+					t.Fatalf("shards=%d n=%d mask=%b size=%d: pigeonhole violated, Covers=false", shards, n, mask, size)
+				}
+			}
+			// The full set always covers; the empty set never does (shards>=1).
+			if !r.Covers(n, func(int) bool { return true }) {
+				t.Fatalf("shards=%d n=%d: full set does not cover", shards, n)
+			}
+			if r.Covers(n, func(int) bool { return false }) {
+				t.Fatalf("shards=%d n=%d: empty set covers", shards, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package router
+
+import (
+	"context"
+
+	"github.com/fastrepro/fast/internal/client"
+	"github.com/fastrepro/fast/internal/server"
+	"github.com/fastrepro/fast/internal/simimg"
+)
+
+// ClientBackend adapts *client.Client to the Backend interface, carrying
+// the wire-level freshness tokens (query IndexEpoch, mutation ack Epoch)
+// through to the router's replica ledger.
+type ClientBackend struct {
+	C *client.Client
+}
+
+// NewClientBackend wraps a fastd client as a router backend.
+func NewClientBackend(c *client.Client) ClientBackend { return ClientBackend{C: c} }
+
+func (b ClientBackend) Query(ctx context.Context, img *simimg.Image, topK int) (Answer, error) {
+	results, resp, err := b.C.QueryFull(ctx, img, topK)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Results: results, Epoch: resp.IndexEpoch}, nil
+}
+
+func (b ClientBackend) Insert(ctx context.Context, id uint64, img *simimg.Image) (uint64, error) {
+	return b.C.InsertEpoch(ctx, id, img)
+}
+
+func (b ClientBackend) Delete(ctx context.Context, id uint64) (uint64, error) {
+	return b.C.DeleteEpoch(ctx, id)
+}
+
+func (b ClientBackend) Stats(ctx context.Context) (server.Stats, error) { return b.C.Stats(ctx) }
+
+func (b ClientBackend) Healthy(ctx context.Context) error { return b.C.Healthy(ctx) }

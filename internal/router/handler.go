@@ -27,6 +27,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", rt.handleQuery)
 	mux.HandleFunc("/v1/insert", rt.handleInsert)
 	mux.HandleFunc("/v1/delete", rt.handleDelete)
+	mux.HandleFunc("/v1/ring", rt.handleRing)
 	mux.HandleFunc("/v1/stats", rt.handleStats)
 	return mux
 }
@@ -73,7 +74,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	results, partial, err := rt.Query(r.Context(), img, req.TopK)
+	results, meta, err := rt.Query(r.Context(), img, req.TopK)
 	if err != nil {
 		if errors.Is(err, ErrQuorumLost) {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -82,7 +83,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	out := server.QueryResponse{Results: make([]server.WireResult, len(results)), Partial: partial}
+	out := server.QueryResponse{
+		Results: make([]server.WireResult, len(results)),
+		Partial: meta.Partial,
+		Stale:   meta.Stale,
+	}
 	for i, res := range results {
 		out.Results[i] = server.WireResult{ID: res.ID, Score: res.Score}
 	}
@@ -116,6 +121,30 @@ func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, server.OKResponse{OK: true})
+}
+
+// handleRing serves GET (status) and POST (prepare/commit/abort) /v1/ring
+// — the router's half of the live reconfiguration protocol.
+func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, rt.RingStatus())
+	case http.MethodPost:
+		var req server.RingUpdateRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRouterBody))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		st, err := rt.RingPhase(req)
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {

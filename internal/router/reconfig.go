@@ -1,0 +1,146 @@
+package router
+
+import (
+	"fmt"
+
+	"github.com/fastrepro/fast/internal/placement"
+	"github.com/fastrepro/fast/internal/server"
+)
+
+// Router side of live ring reconfiguration. The driver (fastctl
+// ring-update, internal/replica.RingUpdate) sequences the phases:
+//
+//	1. RingPrepare on the router — from here every query double-reads
+//	   (full fan-out, coverage checked under both rings) and every write
+//	   double-writes (union of both rings' owner sets).
+//	2. prepare on every shard — each installs the pending ring and
+//	   acquires its newly-owned entries in the background.
+//	3. Wait for every shard to report "ready" — the cluster-wide barrier.
+//	4. commit on every shard — each sheds no-longer-owned entries.
+//	5. RingCommit on the router — single-ring routing resumes under the
+//	   new epoch, and the per-shard dirty flags are cleared (the
+//	   migration just re-synced every replica from its peers).
+//
+// A driver crash strands the router in the transition window, which is
+// safe (double-reading and double-writing are conservative) and visible
+// in /v1/stats (ring_transition); re-running the driver with the same
+// target ring is idempotent, and RingAbort backs out.
+
+// RingPrepare installs next as the pending ring, entering the double-
+// read/double-write window. The shard count cannot change (resizing needs
+// backend reconfiguration, not just remapping); the epoch must advance.
+func (rt *Router) RingPrepare(cfg placement.Config, replicas int) error {
+	next, err := placement.New(cfg)
+	if err != nil {
+		return err
+	}
+	if next.Shards() != len(rt.cfg.Shards) {
+		return fmt.Errorf("router: pending ring has %d shards, router has %d backends",
+			next.Shards(), len(rt.cfg.Shards))
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > next.Shards() {
+		replicas = next.Shards()
+	}
+	rt.ringMu.Lock()
+	defer rt.ringMu.Unlock()
+	if rt.next != nil && rt.next.Fingerprint() == next.Fingerprint() && rt.nextReplicas == replicas {
+		return nil // idempotent re-prepare
+	}
+	if rt.next != nil {
+		return fmt.Errorf("router: reconfiguration to epoch %d already in flight", rt.next.Epoch())
+	}
+	if next.Epoch() <= rt.ring.Epoch() {
+		return fmt.Errorf("router: ring epoch must advance (current %d, proposed %d)", rt.ring.Epoch(), next.Epoch())
+	}
+	rt.next = next
+	rt.nextReplicas = replicas
+	return nil
+}
+
+// RingCommit makes the pending ring current, ending the transition
+// window. It also clears the per-shard dirty flags: the committed
+// migration re-synced every shard's contents from its peers, so replicas
+// previously marked dirty (failed async applies) are trustworthy again.
+func (rt *Router) RingCommit(epoch uint64) error {
+	rt.ringMu.Lock()
+	defer rt.ringMu.Unlock()
+	if rt.next == nil {
+		if rt.ring.Epoch() == epoch {
+			return nil // idempotent re-commit
+		}
+		return fmt.Errorf("router: no pending ring to commit")
+	}
+	if rt.next.Epoch() != epoch {
+		return fmt.Errorf("router: commit names epoch %d but pending is %d", epoch, rt.next.Epoch())
+	}
+	rt.ring = rt.next
+	rt.replicas = rt.nextReplicas
+	rt.next = nil
+	rt.nextReplicas = 0
+	for i := range rt.health {
+		rt.health[i].failed.Store(0)
+	}
+	rt.met.ringUpdates.Inc()
+	return nil
+}
+
+// RingAbort drops the pending ring, if any, returning to single-ring
+// routing under the current epoch.
+func (rt *Router) RingAbort() {
+	rt.ringMu.Lock()
+	defer rt.ringMu.Unlock()
+	rt.next = nil
+	rt.nextReplicas = 0
+}
+
+// RingStatus reports the router's placement state in the same wire shape
+// the shards use (ShardIndex -1 marks the router; Acquired/Shed stay zero
+// — the router holds no index to migrate).
+func (rt *Router) RingStatus() *server.RingStatusResponse {
+	rt.ringMu.Lock()
+	defer rt.ringMu.Unlock()
+	cfg := rt.ring.Config()
+	st := &server.RingStatusResponse{
+		Enabled:    true,
+		ShardIndex: -1,
+		State:      "steady",
+		Current: server.RingConfigWire{
+			Shards: cfg.Shards, VNodes: cfg.VNodes, Seed: cfg.Seed, Epoch: cfg.Epoch,
+			Replicas: rt.replicas,
+		},
+		CurrentFingerprint: rt.ring.Fingerprint(),
+	}
+	if rt.next != nil {
+		ncfg := rt.next.Config()
+		st.State = "migrating"
+		st.Pending = &server.RingConfigWire{
+			Shards: ncfg.Shards, VNodes: ncfg.VNodes, Seed: ncfg.Seed, Epoch: ncfg.Epoch,
+			Replicas: rt.nextReplicas,
+		}
+		st.PendingFingerprint = rt.next.Fingerprint()
+	}
+	return st
+}
+
+// RingPhase executes one wire-level protocol phase against the router.
+func (rt *Router) RingPhase(req server.RingUpdateRequest) (*server.RingStatusResponse, error) {
+	switch req.Phase {
+	case "prepare":
+		cfg := placement.Config{Shards: req.Ring.Shards, VNodes: req.Ring.VNodes, Seed: req.Ring.Seed, Epoch: req.Ring.Epoch}
+		if err := rt.RingPrepare(cfg, req.Ring.Replicas); err != nil {
+			return nil, err
+		}
+	case "commit":
+		if err := rt.RingCommit(req.Ring.Epoch); err != nil {
+			return nil, err
+		}
+	case "abort":
+		rt.RingAbort()
+	default:
+		return nil, fmt.Errorf("router: unknown ring phase %q (want prepare, commit or abort)", req.Phase)
+	}
+	return rt.RingStatus(), nil
+}

@@ -71,6 +71,10 @@ type Config struct {
 	// nil store the endpoint answers 501 — streaming GET /v1/snapshot is
 	// unaffected.
 	Snapshots *store.Generations
+	// Shard, when non-nil, makes the server placement-aware: it serves
+	// /v1/ring (live ring reconfiguration) and reports its ring state in
+	// /v1/stats. Nil for single-node daemons; /v1/ring answers 501 then.
+	Shard *ShardConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +128,11 @@ type Server struct {
 	draining  atomic.Bool
 	closeOnce sync.Once
 	start     time.Time
+
+	// Shard-mode placement state (nil without Config.Shard); see ring.go.
+	shardCfg ShardConfig
+	ringMu   sync.Mutex
+	ring     *shardRing
 }
 
 type queryJob struct {
@@ -157,6 +166,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.met.queueWait = metrics.NewHistogram()
 	s.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, &s.met.rejected)
+	if cfg.Shard != nil {
+		s.shardCfg = *cfg.Shard
+		ring, err := newShardRing(s.shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
+	}
 	if cfg.Window > 0 {
 		s.queries = newCoalescer(cfg.Window, cfg.BatchMax, s.dispatchQueries)
 		s.inserts = newCoalescer(cfg.Window, cfg.BatchMax, s.dispatchInserts)
@@ -212,6 +229,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/snapshot/chunks", s.handleSnapshotChunks)
 	mux.HandleFunc("/v1/snapshot/fetch", s.handleSnapshotFetch)
 	mux.HandleFunc("/v1/restore", s.handleRestore)
+	mux.HandleFunc("/v1/ring", s.handleRing)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
@@ -307,6 +325,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		topK = s.cfg.TopKLimit
 	}
 
+	// Freshness token: sample the published view epoch BEFORE the query
+	// runs. Views are published atomically and monotonically, so whatever
+	// view the query ends up reading has epoch ≥ this sample — the answer
+	// provably reflects every mutation acknowledged at or below it. (The
+	// reverse order would over-claim: a write could land between the query
+	// and the sample.)
+	epoch := s.Engine().PublishedEpoch()
 	var results []core.SearchResult
 	if s.queries != nil {
 		job := queryJob{img: img, topK: topK, submitted: time.Now(), resp: make(chan queryResp, 1)}
@@ -322,7 +347,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.queries.Inc()
-	out := QueryResponse{Results: make([]WireResult, len(results))}
+	out := QueryResponse{Results: make([]WireResult, len(results)), IndexEpoch: epoch}
 	for i, res := range results {
 		out.Results[i] = WireResult{ID: res.ID, Score: res.Score}
 	}
@@ -354,7 +379,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.inserts.Inc()
-	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+	// The mutation published before its engine call returned, so the epoch
+	// read here bounds it from above: any query reporting IndexEpoch ≥ this
+	// value reflects this insert.
+	writeJSON(w, http.StatusOK, OKResponse{OK: true, Epoch: s.Engine().PublishedEpoch()})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -368,7 +396,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.deletes.Inc()
-	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+	writeJSON(w, http.StatusOK, OKResponse{OK: true, Epoch: s.Engine().PublishedEpoch()})
 }
 
 // handleSnapshot streams the index. It deliberately bypasses admission —
@@ -529,6 +557,7 @@ func (s *Server) Stats() Stats {
 		ss := g.Stats()
 		st.SnapshotStore = &ss
 	}
+	st.Ring = s.RingStatus()
 	return st
 }
 

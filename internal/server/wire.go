@@ -79,13 +79,25 @@ type WireResult struct {
 	Score float64 `json:"score"`
 }
 
-// QueryResponse is the body of a successful /v1/query. Partial is set only
-// by the cluster router: true means one or more shards failed (or timed
-// out) inside quorum, so the results cover the reachable shards only. A
-// single node never sets it.
+// QueryResponse is the body of a successful /v1/query.
+//
+// Partial and Stale are set only by the cluster router. Partial means the
+// responding shards provably do not cover the whole key space (under the
+// configured replica factor), so results may be missing entries. Stale
+// means the answer is complete but at least one contributing shard had
+// unacknowledged replica writes pending, so very recent mutations may not
+// be reflected. A single node never sets either.
+//
+// IndexEpoch is the serving engine's published read-view epoch sampled
+// before the query ran — a freshness token: the answer reflects at least
+// every mutation whose acknowledgment carried an epoch ≤ this value. The
+// router compares it against the largest epoch it has seen acknowledged by
+// the shard to detect stale replicas.
 type QueryResponse struct {
-	Results []WireResult `json:"results"`
-	Partial bool         `json:"partial,omitempty"`
+	Results    []WireResult `json:"results"`
+	Partial    bool         `json:"partial,omitempty"`
+	Stale      bool         `json:"stale,omitempty"`
+	IndexEpoch uint64       `json:"index_epoch,omitempty"`
 }
 
 // ChunkSetResponse is the body of GET /v1/snapshot/chunks: the chunk-ID
@@ -114,9 +126,57 @@ type DeleteRequest struct {
 	ID uint64 `json:"id"`
 }
 
-// OKResponse acknowledges a mutation.
+// OKResponse acknowledges a mutation. Epoch, when present, is the engine's
+// published read-view epoch after the mutation committed: any later query
+// reporting an IndexEpoch ≥ this value is guaranteed to reflect the
+// mutation (view epochs are monotonic and a mutation publishes before its
+// acknowledgment is written). The router records it per shard as the
+// freshness floor replica reads are judged against.
 type OKResponse struct {
-	OK bool `json:"ok"`
+	OK    bool   `json:"ok"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// RingConfigWire is a placement generation on the wire: the exact inputs
+// of placement.New plus the replica factor the cluster runs at. Identical
+// configs build identical rings (and fingerprints) on every node.
+type RingConfigWire struct {
+	Shards   int    `json:"shards"`
+	VNodes   int    `json:"vnodes,omitempty"`
+	Seed     uint64 `json:"seed"`
+	Epoch    uint64 `json:"epoch"`
+	Replicas int    `json:"replicas"`
+}
+
+// RingUpdateRequest is the body of POST /v1/ring — one step of the
+// two-phase live reconfiguration protocol (see DESIGN.md, "Replication &
+// reconfiguration"). Phase is "prepare" (install the pending ring and
+// start acquiring newly-owned entries in the background), "commit" (shed
+// no-longer-owned entries and make the pending ring current; refused
+// until the background acquire finished) or "abort" (drop the pending
+// ring; already-acquired entries are kept as harmless duplicates until a
+// later commit sheds them).
+type RingUpdateRequest struct {
+	Phase string         `json:"phase"`
+	Ring  RingConfigWire `json:"ring"`
+}
+
+// RingStatusResponse is the body of GET /v1/ring and the reply to every
+// /v1/ring phase. State is "steady" (no reconfiguration in flight),
+// "migrating" (prepare accepted, background acquire running), "ready"
+// (acquire finished, commit will be accepted) or "failed" (acquire
+// errored; re-prepare restarts it — the current ring serves throughout).
+type RingStatusResponse struct {
+	Enabled            bool            `json:"enabled"`
+	ShardIndex         int             `json:"shard_index"`
+	State              string          `json:"state"`
+	Current            RingConfigWire  `json:"current"`
+	CurrentFingerprint uint64          `json:"current_fingerprint"`
+	Pending            *RingConfigWire `json:"pending,omitempty"`
+	PendingFingerprint uint64          `json:"pending_fingerprint,omitempty"`
+	Acquired           int             `json:"acquired"` // entries adopted from peers for the pending ring
+	Shed               int             `json:"shed"`     // entries dropped at the last commit
+	LastError          string          `json:"last_error,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON reply.
@@ -200,4 +260,9 @@ type Stats struct {
 	// live chunk count, last-GC reclaim) when the daemon has one; nil
 	// otherwise. See store.StoreStats for field documentation.
 	SnapshotStore *store.StoreStats `json:"snapshot_store,omitempty"`
+
+	// Ring reports the shard's placement state (current/pending ring,
+	// migration progress) when the daemon runs in shard mode; nil
+	// otherwise. See RingStatusResponse.
+	Ring *RingStatusResponse `json:"ring,omitempty"`
 }
